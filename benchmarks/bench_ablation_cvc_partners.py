@@ -1,0 +1,57 @@
+"""Ablation — CVC's structural-invariant partner restriction on/off.
+
+Isolates *why* CVC wins: the same 2D partitions, synced with and without
+invariant filtering.  Without filtering every partition reduces and
+broadcasts with every mirror-sharing peer; with it, partners collapse to
+the grid row/column.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import archive
+from repro.comm import CommConfig, FieldSpec, GluonComm
+from repro.engine import BSPEngine, RunContext
+from repro.apps import get_app
+from repro.generators import load_dataset
+from repro.hw import bridges
+from repro.partition import partition
+from repro.study.report import format_table
+
+
+def test_cvc_partner_restriction(once):
+    def run():
+        ds = load_dataset("twitter50-s")
+        pg = partition(ds.graph, "cvc", 32)
+        rows = []
+        out = {}
+        for label, filtering in (("restricted", True), ("all-pairs", False)):
+            eng = BSPEngine(
+                pg, bridges(32), get_app("sssp"),
+                comm_config=CommConfig(invariant_filtering=filtering),
+                scale_factor=ds.scale_factor, check_memory=False,
+            )
+            ctx = RunContext(
+                num_global_vertices=ds.graph.num_vertices,
+                source=ds.source_vertex,
+                global_out_degrees=ds.graph.out_degrees(),
+            )
+            res = eng.run(ctx)
+            partners = max(
+                len(eng.comm.reduce_partners("dist", p))
+                + len(eng.comm.broadcast_partners("dist", p))
+                for p in range(32)
+            )
+            rows.append([
+                label, partners, round(res.stats.execution_time, 3),
+                round(res.stats.comm_volume_gb, 2), res.stats.num_messages,
+            ])
+            out[label] = res.stats
+        return out, format_table(
+            ["sync mode", "max partners", "time (s)", "volume (GB)", "messages"],
+            rows, title="Ablation: CVC invariant partner restriction (sssp/twitter50-s@32)",
+        )
+
+    out, text = once(run)
+    archive("ablation_cvc_partners", text)
+    assert out["restricted"].num_messages < out["all-pairs"].num_messages
+    assert out["restricted"].execution_time <= out["all-pairs"].execution_time

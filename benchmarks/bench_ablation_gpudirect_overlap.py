@@ -1,0 +1,65 @@
+"""Ablation — the paper's two proposed communication improvements.
+
+Section V-C: "The execution time can be further reduced by overlapping
+this communication with computation using asynchronous communication
+between host and device or by communicating directly between devices
+using GPUDirect."  This bench projects both: the same sssp run with (a)
+the baseline host-routed path, (b) 90% comm/compute overlap, and (c)
+GPUDirect device-direct transfers.
+"""
+
+from benchmarks.conftest import archive
+from repro.apps import get_app
+from repro.engine import BSPEngine, RunContext
+from repro.generators import load_dataset
+from repro.hw import bridges
+from repro.partition import partition
+from repro.study.report import format_table
+
+
+def test_gpudirect_and_overlap(once):
+    def run():
+        ds = load_dataset("twitter50-s")
+        pg = partition(ds.graph, "cvc", 32)
+        ctx = RunContext(
+            num_global_vertices=ds.graph.num_vertices,
+            source=ds.source_vertex,
+            global_out_degrees=ds.graph.out_degrees(),
+        )
+        configs = [
+            ("host-routed (baseline)", bridges(32), 0.0),
+            ("overlap 90%", bridges(32), 0.9),
+            ("GPUDirect", bridges(32, gpudirect=True), 0.0),
+            ("GPUDirect + overlap", bridges(32, gpudirect=True), 0.9),
+        ]
+        rows, out = [], {}
+        for label, cluster, overlap in configs:
+            res = BSPEngine(
+                pg, cluster, get_app("sssp"),
+                scale_factor=ds.scale_factor, check_memory=False,
+                overlap_comm=overlap,
+            ).run(ctx)
+            rows.append([
+                label, round(res.stats.execution_time, 3),
+                round(res.stats.max_compute, 3),
+                round(res.stats.device_comm, 3),
+            ])
+            out[label] = res.stats
+        text = format_table(
+            ["configuration", "time (s)", "max compute (s)", "device comm (s)"],
+            rows,
+            title="Ablation: GPUDirect and comm/compute overlap "
+                  "(sssp/twitter50-s@32, CVC)",
+        )
+        return out, text
+
+    out, text = once(run)
+    archive("ablation_gpudirect_overlap", text)
+    base = out["host-routed (baseline)"]
+    assert out["GPUDirect"].execution_time < base.execution_time
+    assert out["GPUDirect"].device_comm < base.device_comm
+    assert out["overlap 90%"].execution_time <= base.execution_time
+    assert (
+        out["GPUDirect + overlap"].execution_time
+        <= out["GPUDirect"].execution_time + 1e-9
+    )

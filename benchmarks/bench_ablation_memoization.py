@@ -1,0 +1,39 @@
+"""Ablation — Gluon's address memoization vs explicit global IDs.
+
+The same runs with memoized exchange orders (values-only messages) and
+with Lux-style 8-byte global IDs attached to every element.
+"""
+
+from benchmarks.conftest import archive
+from repro.comm import CommConfig
+from repro.frameworks.dirgl import DIrGL
+from repro.generators import load_dataset
+from repro.study.report import format_table
+
+
+def test_memoization(once):
+    def run():
+        ds = load_dataset("twitter50-s")
+        rows, out = [], {}
+        for label, memoize in (("memoized", True), ("explicit-ids", False)):
+            fw = DIrGL(policy="iec", update_only=False, execution="sync")
+            fw.comm_config = CommConfig(
+                update_only=False, memoize_addresses=memoize
+            )
+            res = fw.run("cc", ds, 16, check_memory=False)
+            rows.append([
+                label, round(res.stats.comm_volume_gb, 2),
+                round(res.stats.execution_time, 3),
+            ])
+            out[label] = res.stats
+        return out, format_table(
+            ["addresses", "volume (GB)", "time (s)"],
+            rows, title="Ablation: address memoization (cc/twitter50-s@16, AS)",
+        )
+
+    out, text = once(run)
+    archive("ablation_memoization", text)
+    assert (
+        out["explicit-ids"].comm_volume_bytes
+        > 1.5 * out["memoized"].comm_volume_bytes
+    )

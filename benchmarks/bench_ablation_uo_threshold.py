@@ -1,0 +1,55 @@
+"""Ablation — the UO pay-off threshold (Section V-B3's microbenchmark).
+
+The paper: "there is a threshold below which the overhead of extracting
+the updated values outweighs the benefits of volume reduction.  This
+threshold can be determined using microbenchmarking."  This bench IS that
+microbenchmark: AS vs UO across every medium/large input, reporting the
+volume reduction and the time delta side by side.
+"""
+
+from benchmarks.conftest import archive, full_grid
+from repro.study.report import format_table
+from repro.study.variants import make_variant
+from repro.generators import load_dataset
+
+
+def test_uo_threshold(once):
+    datasets = (
+        ["twitter50-s", "friendster-s", "uk07-s", "clueweb12-s"]
+        if full_grid()
+        else ["twitter50-s", "uk07-s"]
+    )
+
+    def run():
+        rows, wins = [], 0
+        for name in datasets:
+            ds = load_dataset(name)
+            a = make_variant("var2").run("sssp", ds, 32, check_memory=False)
+            u = make_variant("var3").run("sssp", ds, 32, check_memory=False)
+            reduction = a.stats.comm_volume_bytes / max(
+                u.stats.comm_volume_bytes, 1.0
+            )
+            speedup = a.stats.execution_time / u.stats.execution_time
+            wins += speedup > 1.0
+            rows.append([
+                name,
+                round(a.stats.comm_volume_gb, 2),
+                round(u.stats.comm_volume_gb, 2),
+                round(reduction, 1),
+                round(a.stats.execution_time, 3),
+                round(u.stats.execution_time, 3),
+                round(speedup, 2),
+            ])
+        text = format_table(
+            ["input", "AS vol (GB)", "UO vol (GB)", "vol reduction x",
+             "AS time (s)", "UO time (s)", "UO speedup x"],
+            rows, title="Ablation: UO extraction threshold (sssp@32)",
+        )
+        return wins, rows, text
+
+    wins, rows, text = once(run)
+    archive("ablation_uo_threshold", text)
+    # UO always reduces volume ...
+    assert all(r[3] >= 1.0 for r in rows)
+    # ... and wins on time for at least one large-message input
+    assert wins >= 1

@@ -1,0 +1,70 @@
+"""Extension — the paper's DGX-2 motivation, tested.
+
+The introduction argues vertex-cut support matters because "single-host
+multi-GPU machines are now being designed with 16 GPUs (such as NVIDIA
+DGX2)".  This bench runs the 16-GPU policy comparison on both fabrics:
+the host-routed Bridges nodes the paper measured, and a simulated DGX-2
+(16 V100s behind NVSwitch with device-direct transfers).
+
+Finding: CVC wins clearly on the host-routed fabric — but NVSwitch +
+GPUDirect compresses the policy spread dramatically, because CVC's
+advantage comes from economizing exactly the host-side per-message costs
+that the DGX-2 fabric eliminates.  The policy lesson and the GPUDirect
+lesson of the paper are two sides of the same bottleneck.
+"""
+
+from benchmarks.conftest import archive
+from repro.apps import get_app
+from repro.engine import BSPEngine, RunContext
+from repro.generators import load_dataset
+from repro.hw import bridges, dgx2
+from repro.partition import partition
+from repro.study.report import format_table
+
+POLICIES = ("cvc", "hvc", "iec", "oec")
+
+
+def test_dgx2_policy_study(once):
+    def run():
+        ds = load_dataset("twitter50-s")
+        ctx = RunContext(
+            num_global_vertices=ds.graph.num_vertices,
+            source=ds.source_vertex,
+            global_out_degrees=ds.graph.out_degrees(),
+        )
+        rows = []
+        out = {"bridges": {}, "dgx2": {}}
+        for fabric, cluster in (("bridges", bridges(16)), ("dgx2", dgx2(16))):
+            for pol in POLICIES:
+                pg = partition(ds.graph, pol, 16)
+                res = BSPEngine(
+                    pg, cluster, get_app("sssp"),
+                    scale_factor=ds.scale_factor, check_memory=False,
+                ).run(ctx)
+                rows.append([
+                    fabric, pol.upper(),
+                    round(res.stats.execution_time, 3),
+                    round(res.stats.comm_volume_gb, 2),
+                    res.stats.num_messages,
+                ])
+                out[fabric][pol] = res.stats
+        text = format_table(
+            ["fabric", "policy", "time (s)", "volume (GB)", "messages"],
+            rows,
+            title="Extension: 16-GPU policy study, host-routed vs DGX-2 "
+                  "(sssp/twitter50-s)",
+        )
+        return out, text
+
+    out, text = once(run)
+    archive("ext_dgx2", text)
+    # host-routed 16-GPU: CVC wins (the paper's claim at DGX-2 scale)
+    host = {p: s.execution_time for p, s in out["bridges"].items()}
+    assert min(host, key=host.get) == "cvc", host
+    # NVSwitch compresses the spread between best and worst policy
+    nv = {p: s.execution_time for p, s in out["dgx2"].items()}
+    host_spread = max(host.values()) / min(host.values())
+    nv_spread = max(nv.values()) / min(nv.values())
+    assert nv_spread < host_spread
+    # and every policy runs faster on the DGX-2 fabric
+    assert all(nv[p] < host[p] for p in POLICIES)

@@ -1,0 +1,32 @@
+"""Figure 3 — strong scaling of D-IrGL Var1-4 and Lux on medium graphs.
+
+Shapes to reproduce: every D-IrGL variant scales; Lux stops scaling around
+4 GPUs (and fails outright on some inputs); Var1 always beats Lux where
+both run.
+"""
+
+from benchmarks.conftest import archive, full_grid
+from repro.study.figures import figure3
+
+
+def test_figure3(once):
+    if full_grid():
+        results, text = once(lambda: figure3())
+    else:
+        results, text = once(
+            lambda: figure3(benchmarks=("bfs", "sssp", "cc"),
+                            gpu_counts=(2, 8, 32))
+        )
+    archive("figure3", text)
+
+    for (ds, bench), sweep in results.items():
+        var1 = sweep.times("var1")
+        lux = sweep.times("lux")
+        # Var1 outperforms Lux at every point where both ran
+        for v, l in zip(var1, lux):
+            if v is not None and l is not None:
+                assert v <= l * 1.05, (ds, bench)
+        # the full-optimization variant scales: last point beats first
+        var4 = [t for t in sweep.times("var4") if t is not None]
+        if len(var4) >= 2:
+            assert var4[-1] < var4[0], (ds, bench)

@@ -1,0 +1,27 @@
+"""Figure 4 — execution-time breakdown of Var1-4, medium graphs, 32 GPUs.
+
+Shapes to reproduce: ALB (Var2) cuts pagerank's compute bucket; UO (Var3)
+cuts communication volume; each bar decomposes into max-compute / min-wait
+/ device-comm.
+"""
+
+from benchmarks.conftest import archive, full_grid
+from repro.study.figures import figure4
+
+
+def test_figure4(once):
+    if full_grid():
+        bars, text = once(lambda: figure4())
+    else:
+        bars, text = once(lambda: figure4(benchmarks=("bfs", "pr", "sssp")))
+    archive("figure4", text)
+
+    for ds in ("twitter50-s", "friendster-s", "uk07-s"):
+        v1 = bars.get((ds, "pr", "var1"))
+        v2 = bars.get((ds, "pr", "var2"))
+        if v1 and v2:
+            assert v2.max_compute < v1.max_compute, ds  # ALB effect
+        v3 = bars.get((ds, "sssp", "var3"))
+        v2s = bars.get((ds, "sssp", "var2"))
+        if v3 and v2s:
+            assert v3.comm_volume_gb < v2s.comm_volume_gb, ds  # UO effect

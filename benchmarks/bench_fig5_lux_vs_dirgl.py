@@ -1,0 +1,21 @@
+"""Figure 5 — breakdown of Lux vs D-IrGL (Var1), medium graphs, 4 GPUs.
+
+Shapes to reproduce: comparable compute phases (both balance within, not
+across, thread blocks); Lux ships more bytes (all-shared + global IDs).
+"""
+
+from benchmarks.conftest import archive
+from repro.study.figures import figure5
+
+
+def test_figure5(once):
+    bars, text = once(lambda: figure5())
+    archive("figure5", text)
+
+    for ds in ("twitter50-s", "friendster-s"):
+        lux = bars.get((ds, "pr", "lux"))
+        var1 = bars.get((ds, "pr", "d-irgl(var1)"))
+        if lux and var1:
+            # compute phases similar (within 2x), Lux volume far larger
+            assert 0.5 < lux.max_compute / max(var1.max_compute, 1e-9) < 2.0
+            assert lux.comm_volume_gb > 1.5 * var1.comm_volume_gb

@@ -1,0 +1,34 @@
+"""Figure 7 — strong scaling of D-IrGL across partitioning policies.
+
+Shape to reproduce: CVC scales best; its advantage over edge-cuts appears
+by 16 GPUs (the paper's headline finding).
+"""
+
+from benchmarks.conftest import archive, full_grid
+from repro.study.figures import figure7
+
+
+def test_figure7(once):
+    if full_grid():
+        results, text = once(lambda: figure7())
+    else:
+        results, text = once(
+            lambda: figure7(benchmarks=("bfs", "cc"),
+                            gpu_counts=(2, 16, 64))
+        )
+    archive("figure7", text)
+
+    # on the social graphs, CVC is the fastest policy at the largest scale
+    # for the propagation benchmarks (async sssp's redundant-relaxation
+    # traffic and the hyper-local uk07-s stand-in are the documented
+    # deviations — see EXPERIMENTS.md)
+    cvc_wins = 0
+    total = 0
+    for (ds, bench), sweep in results.items():
+        if ds == "uk07-s" or bench in ("sssp", "pr", "kcore"):
+            continue
+        best = sweep.best_system_at(sweep.gpu_counts[-1])
+        total += 1
+        if best == "CVC":
+            cvc_wins += 1
+    assert cvc_wins >= max(1, total - 1), f"CVC won {cvc_wins}/{total}"

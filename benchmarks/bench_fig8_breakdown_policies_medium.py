@@ -1,0 +1,23 @@
+"""Figure 8 — breakdown across policies, medium graphs, 32 GPUs.
+
+Shapes to reproduce: communication dominates most bars; CVC's
+communication share is smaller than the edge-cuts' on the social graphs
+even when it ships comparable bytes (fewer partners).
+"""
+
+from benchmarks.conftest import archive, full_grid
+from repro.study.figures import figure8
+
+
+def test_figure8(once):
+    if full_grid():
+        bars, text = once(lambda: figure8())
+    else:
+        bars, text = once(lambda: figure8(benchmarks=("bfs", "cc", "sssp")))
+    archive("figure8", text)
+
+    for ds in ("twitter50-s", "friendster-s"):
+        cvc = bars.get((ds, "cc", "CVC"))
+        iec = bars.get((ds, "cc", "IEC"))
+        if cvc and iec:
+            assert cvc.total < iec.total, ds

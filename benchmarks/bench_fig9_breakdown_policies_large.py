@@ -1,0 +1,22 @@
+"""Figure 9 — breakdown across policies, large graphs, 64 GPUs.
+
+Shapes to reproduce: statically imbalanced policies OOM at paper scale
+(missing bars), balanced ones run — the study's GPU-memory lesson.
+"""
+
+from benchmarks.conftest import archive, full_grid
+from repro.study.figures import figure9
+
+
+def test_figure9(once):
+    if full_grid():
+        bars, text = once(lambda: figure9())
+    else:
+        bars, text = once(lambda: figure9(benchmarks=("bfs", "cc")))
+    archive("figure9", text)
+
+    # cc/uk14: the proxy-concentrating edge-cuts OOM, the vertex-cuts run
+    assert bars[("uk14-s", "cc", "IEC")] is None
+    assert bars[("uk14-s", "cc", "OEC")] is None
+    assert bars[("uk14-s", "cc", "CVC")] is not None
+    assert bars[("uk14-s", "cc", "HVC")] is not None

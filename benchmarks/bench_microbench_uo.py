@@ -1,0 +1,48 @@
+"""The Section V-B3 microbenchmark as a bench: the UO pay-off curve.
+
+Regenerates the curve the paper says frameworks should measure: for one
+exchange list, the cost of AS vs UO synchronization as the updated
+fraction sweeps from 0.1% to 100%, plus the crossover fraction for small
+and large lists.
+"""
+
+from benchmarks.conftest import archive
+from repro.hw import bridges
+from repro.study.microbench import uo_crossover_fraction, uo_threshold_curve
+from repro.study.report import format_table
+
+
+def test_uo_microbenchmark(once):
+    def run():
+        rows = []
+        pts = uo_threshold_curve(
+            list_len=200_000, cluster=bridges(4), volume_scale=500.0
+        )
+        for p in pts:
+            rows.append([
+                f"{p.updated_fraction * 100:.1f}%",
+                round(p.as_seconds * 1e3, 3),
+                round(p.uo_seconds * 1e3, 3),
+                "UO" if p.uo_wins else "AS",
+            ])
+        text = format_table(
+            ["updated fraction", "AS (ms)", "UO (ms)", "cheaper"],
+            rows,
+            title="Microbenchmark: UO extraction threshold "
+                  "(200k-proxy exchange, paper scale x500)",
+        )
+        crossings = {
+            n: uo_crossover_fraction(n, cluster=bridges(4), volume_scale=500.0)
+            for n in (2_000, 20_000, 200_000)
+        }
+        text += "\n\ncrossover fraction by exchange-list length: " + ", ".join(
+            f"{n:,} -> {x:.2f}" for n, x in crossings.items()
+        )
+        return pts, crossings, text
+
+    pts, crossings, text = once(run)
+    archive("microbench_uo", text)
+    assert pts[0].uo_wins
+    assert not pts[-1].uo_wins
+    # UO stays profitable to higher densities on larger lists
+    assert crossings[200_000] >= crossings[2_000]

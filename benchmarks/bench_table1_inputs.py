@@ -1,0 +1,10 @@
+"""Table I — inputs and their key properties."""
+
+from benchmarks.conftest import archive
+from repro.study.tables import table1
+
+
+def test_table1(once):
+    rows, text = once(lambda: table1())
+    archive("table1", text)
+    assert len(rows) == 9

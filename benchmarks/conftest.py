@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures,
+prints it, and archives the text under ``benchmarks/results/`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from a single
+``pytest benchmarks/ --benchmark-only`` run.
+
+Sweeps default to a *representative subset* (all systems/policies, a
+reduced benchmark/GPU-count grid) so the whole harness finishes in tens of
+minutes; set ``REPRO_BENCH_FULL=1`` for the paper's full grid.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_grid() -> bool:
+    """Full paper grid (REPRO_BENCH_FULL=1) or the representative subset."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def archive(name: str, text: str) -> None:
+    """Print and persist one regenerated table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a driver exactly once under pytest-benchmark timing."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Sync vs Async execution — and when to throttle.
+
+Runs bfs on the long-tail web crawl (uk14 stand-in) bulk-synchronously,
+bulk-asynchronously, and with the throttled BASP the paper proposes as
+future work, showing the trade-off between decoupled execution and
+redundant work.
+
+    python examples/async_vs_sync.py
+"""
+
+from repro.apps import get_app
+from repro.engine import BASPEngine, BSPEngine, RunContext
+from repro.generators import load_dataset
+from repro.hw import bridges
+from repro.partition import partition
+from repro.study.report import format_table
+
+
+def main() -> None:
+    ds = load_dataset("uk14-s")
+    print(f"dataset: {ds}  (long-tail crawl: the async stress case)\n")
+    pg = partition(ds.graph, "iec", 64)
+    ctx = RunContext(
+        num_global_vertices=ds.graph.num_vertices,
+        source=ds.source_vertex,
+        global_out_degrees=ds.graph.out_degrees(),
+    )
+    cluster = bridges(64)
+
+    rows = []
+
+    bsp = BSPEngine(
+        pg, cluster, get_app("bfs"),
+        scale_factor=ds.scale_factor, check_memory=False,
+    ).run(ctx)
+    rows.append(["BSP (sync)", round(bsp.stats.execution_time, 3),
+                 int(bsp.stats.work_items), bsp.stats.rounds, bsp.stats.rounds])
+
+    for wait_s, label in ((0.0, "BASP (async)"), (5e-2, "BASP throttled (50ms)")):
+        basp = BASPEngine(
+            pg, cluster, get_app("bfs"),
+            scale_factor=ds.scale_factor, check_memory=False,
+            throttle_wait=wait_s,
+        ).run(ctx)
+        rows.append([label, round(basp.stats.execution_time, 3),
+                     int(basp.stats.work_items),
+                     basp.stats.local_rounds_min, basp.stats.local_rounds_max])
+
+    print(format_table(
+        ["execution model", "time (s)", "work items", "min rounds",
+         "max rounds"],
+        rows, title="bfs on uk14-s @ 64 GPUs",
+    ))
+    print(
+        "\nAsync decouples stragglers but stale reads redo work on the long "
+        "tail;\nthe throttle bounds the redundancy — the control mechanism "
+        "the paper's\nconclusion calls for."
+    )
+
+    assert (bsp.labels == basp.labels).all() if hasattr(basp, "labels") else True
+
+
+if __name__ == "__main__":
+    main()

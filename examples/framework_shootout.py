@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Framework shootout on the single-host platform (the Table II scenario).
+
+Runs cc on all four frameworks on Tuxedo (4x K80 + 2x GTX 1080), letting
+each bring its own partitioning, load balancing, and algorithm variant —
+including Groute's pointer-jumping cc — and reports time, memory, and
+communication volume side by side.
+
+    python examples/framework_shootout.py [dataset]
+"""
+
+import sys
+
+from repro.errors import ReproError
+from repro.frameworks import FRAMEWORKS
+from repro.generators import load_dataset
+from repro.study.report import format_table
+from repro.validation import reference_cc
+import numpy as np
+
+
+def main(dataset: str = "orkut-s") -> None:
+    ds = load_dataset(dataset)
+    ref = reference_cc(ds.symmetric())
+    print(f"dataset: {ds}\n")
+
+    rows = []
+    for name, cls in FRAMEWORKS.items():
+        fw = cls()
+        platform = "tuxedo"
+        try:
+            res = fw.run("cc", ds, 6, platform=platform)
+            ok = "yes" if np.array_equal(res.labels, ref) else "NO"
+            rows.append([
+                name, fw.policy, round(res.stats.execution_time, 3),
+                round(res.stats.memory_max_gb, 2),
+                round(res.stats.comm_volume_gb, 2), ok,
+            ])
+        except ReproError as e:
+            rows.append([name, fw.policy, None, None, None, type(e).__name__])
+
+    print(format_table(
+        ["framework", "policy", "time (s)", "memory (GB)", "volume (GB)",
+         "answer matches"],
+        rows, title=f"cc on Tuxedo (6 GPUs), {dataset}",
+    ))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

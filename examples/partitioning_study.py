@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Partitioning-policy study: which policy should *your* workload use?
+
+Reproduces the paper's core methodology on one dataset: partitions the
+graph under all four policies, reports the partitioner-level statistics
+(replication factor, static balance, communication partners), then runs a
+benchmark at several scales to show the edge-cut -> CVC crossover.
+
+    python examples/partitioning_study.py [dataset] [benchmark]
+"""
+
+import sys
+
+from repro.frameworks import DIrGL
+from repro.generators import load_dataset
+from repro.partition import partition, partition_stats
+from repro.study.report import format_series, format_table
+
+POLICIES = ("oec", "iec", "hvc", "cvc")
+GPU_COUNTS = (2, 8, 32)
+
+
+def main(dataset: str = "twitter50-s", benchmark: str = "sssp") -> None:
+    ds = load_dataset(dataset)
+    print(f"dataset: {ds}\n")
+
+    # --- partitioner-level statistics (no execution needed) -------------- #
+    rows = []
+    for pol in POLICIES:
+        s = partition_stats(partition(ds.graph, pol, 32))
+        rows.append([
+            pol.upper(), round(s.replication_factor, 2),
+            round(s.static_balance, 2), round(s.vertex_balance, 2),
+            s.max_comm_partners,
+        ])
+    print(format_table(
+        ["policy", "replication", "static balance", "vertex balance",
+         "max partners"],
+        rows, title=f"Partitioning statistics at 32 partitions ({dataset})",
+    ))
+    print()
+
+    # --- the crossover ---------------------------------------------------- #
+    series = {}
+    for pol in POLICIES:
+        times = []
+        for n in GPU_COUNTS:
+            res = DIrGL(policy=pol).run(
+                benchmark, ds, n, check_memory=False
+            )
+            times.append(round(res.stats.execution_time, 3))
+        series[pol.upper()] = times
+    print(format_series(
+        "GPUs", list(GPU_COUNTS), series,
+        title=f"{benchmark} execution time (s) by policy — watch CVC take over",
+    ))
+
+    best_small = min(series, key=lambda p: series[p][0])
+    best_large = min(series, key=lambda p: series[p][-1])
+    print(f"\nbest policy at {GPU_COUNTS[0]} GPUs : {best_small}")
+    print(f"best policy at {GPU_COUNTS[-1]} GPUs: {best_large}")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:3])

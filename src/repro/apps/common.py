@@ -1,0 +1,54 @@
+"""Shared vectorized kernels for the vertex programs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["expand_frontier", "scatter_min", "scatter_add"]
+
+
+def expand_frontier(
+    graph: CSRGraph, frontier: np.ndarray, with_weights: bool = False
+):
+    """Gather all out-edges of the frontier vertices, vectorized.
+
+    Returns ``(rep, dsts, weights)`` where ``rep[i]`` is the index *into the
+    frontier array* of edge i's source (so ``frontier[rep]`` are source local
+    IDs), ``dsts`` are destination local IDs, and ``weights`` is None unless
+    requested.
+    """
+    starts = graph.indptr[frontier]
+    ends = graph.indptr[frontier + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, (np.empty(0) if with_weights else None)
+    pos = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    offsets = np.repeat(starts - pos, counts)
+    eidx = np.arange(total, dtype=np.int64) + offsets
+    rep = np.repeat(np.arange(len(frontier), dtype=np.int64), counts)
+    dsts = graph.indices[eidx].astype(np.int64)
+    w = graph.weights[eidx] if with_weights else None
+    return rep, dsts, w
+
+
+def scatter_min(labels: np.ndarray, targets: np.ndarray, values: np.ndarray):
+    """``labels[t] = min(labels[t], v)`` with duplicate targets; returns the
+    unique target IDs whose label decreased."""
+    if len(targets) == 0:
+        return np.empty(0, dtype=np.int64)
+    touched = np.unique(targets)
+    old = labels[touched].copy()
+    np.minimum.at(labels, targets, values)
+    return touched[labels[touched] < old]
+
+
+def scatter_add(labels: np.ndarray, targets: np.ndarray, values: np.ndarray):
+    """``labels[t] += v`` with duplicate targets; returns unique targets."""
+    if len(targets) == 0:
+        return np.empty(0, dtype=np.int64)
+    np.add.at(labels, targets, values)
+    return np.unique(targets)

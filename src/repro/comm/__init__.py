@@ -1,0 +1,18 @@
+"""Gluon-style communication substrate: proxy synchronization with
+structural-invariant and update-driven optimizations."""
+
+from repro.comm.bitset import Bitset
+from repro.comm.buffers import Message, MessageHeader
+from repro.comm.gluon import CommConfig, FieldSpec, GluonComm
+from repro.comm.router import RoutedMessage, Router
+
+__all__ = [
+    "Bitset",
+    "Message",
+    "MessageHeader",
+    "CommConfig",
+    "FieldSpec",
+    "GluonComm",
+    "Router",
+    "RoutedMessage",
+]

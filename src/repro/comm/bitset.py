@@ -1,0 +1,57 @@
+"""Dense bitset used for update tracking (the "UO" optimization).
+
+Gluon tracks which proxies were updated each round with device-side bitsets;
+the wire format packs one bit per element of the memoized exchange order.
+We store an unpacked boolean array for fast NumPy indexing and expose the
+*packed* size for wire accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Bitset"]
+
+
+class Bitset:
+    """Fixed-size bitset over ``size`` elements."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, size: int):
+        self.bits = np.zeros(size, dtype=bool)
+
+    @property
+    def size(self) -> int:
+        return len(self.bits)
+
+    def set(self, idx) -> None:
+        """Set the given indices (array-like or scalar)."""
+        self.bits[idx] = True
+
+    def clear(self, idx=None) -> None:
+        """Clear the given indices, or everything when ``idx`` is None."""
+        if idx is None:
+            self.bits[:] = False
+        else:
+            self.bits[idx] = False
+
+    def test(self, idx) -> np.ndarray:
+        return self.bits[idx]
+
+    def count(self) -> int:
+        return int(self.bits.sum())
+
+    def any(self) -> bool:
+        return bool(self.bits.any())
+
+    def indices(self) -> np.ndarray:
+        return np.flatnonzero(self.bits)
+
+    @staticmethod
+    def packed_nbytes(num_elements: int) -> int:
+        """Wire bytes of a packed bitset over ``num_elements`` bits."""
+        return (num_elements + 7) // 8
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Bitset {self.count()}/{self.size} set>"

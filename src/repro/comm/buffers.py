@@ -1,0 +1,92 @@
+"""Wire message representation and size accounting.
+
+A message carries the values of a subset of one exchange list from one GPU
+to another.  Its wire size depends on the framework's choices:
+
+* **memoized addresses** (Gluon): the receiver knows the agreed order, so
+  the payload is values only, plus a packed bitset of the order when the
+  subset is partial (UO);
+* **explicit addresses** (Lux): every element ships its 8-byte global ID
+  next to the value, and the full shared set is sent every round.
+
+``wire_bytes`` is what the simulator charges against PCIe and the network;
+it is also what the figures' GB labels sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.comm.bitset import Bitset
+from repro.constants import GID_BYTES
+
+__all__ = ["MessageHeader", "Message"]
+
+#: Fixed per-message envelope (tags, field id, counts).
+HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class MessageHeader:
+    """Routing metadata for one message."""
+
+    src: int  # sending GPU / partition
+    dst: int  # receiving GPU / partition
+    phase: str  # "reduce" | "broadcast"
+    field: str  # label field name
+
+
+@dataclass
+class Message:
+    """One proxy-synchronization message.
+
+    Attributes
+    ----------
+    header:
+        routing metadata.
+    values:
+        payload values in exchange order (possibly a filtered subset).
+    positions:
+        indices *into the memoized exchange list* that ``values`` covers;
+        ``None`` means the full list (AS, or UO with everything updated).
+    exchange_len:
+        length of the full exchange list (the bitset domain under UO).
+    explicit_ids:
+        when addresses are not memoized (Lux), the global IDs shipped with
+        the values.
+    scanned_elements:
+        how many proxy slots the sender's extraction kernel (prefix scan)
+        had to visit to build this message — the UO overhead driver
+        (Section V-B3).
+    """
+
+    header: MessageHeader
+    values: np.ndarray
+    positions: Optional[np.ndarray] = None
+    exchange_len: int = 0
+    explicit_ids: Optional[np.ndarray] = None
+    scanned_elements: int = 0
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.values)
+
+    def wire_bytes(self) -> int:
+        """Bytes this message occupies on PCIe and the network."""
+        total = HEADER_BYTES + self.values.nbytes
+        if self.explicit_ids is not None:
+            total += self.num_elements * GID_BYTES
+        elif self.positions is not None:
+            # memoized subset => packed bitset over the exchange order
+            total += Bitset.packed_nbytes(self.exchange_len)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        h = self.header
+        return (
+            f"<Message {h.phase} {h.src}->{h.dst} field={h.field} "
+            f"n={self.num_elements} {self.wire_bytes()}B>"
+        )

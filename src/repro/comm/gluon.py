@@ -1,0 +1,407 @@
+"""The Gluon-style proxy-synchronization substrate (Dathathri et al., PLDI'18).
+
+Synchronization of a label field is a **reduce** (mirror proxies send their
+locally-written values to the master, which combines them with an
+app-declared operator) followed by a **broadcast** (the master sends the
+canonical value back to the mirrors that will read it).  Three optimizations
+from the paper are modeled faithfully, each independently switchable for
+ablation:
+
+* **structural-invariant filtering** (Section III-D1): apps declare where a
+  field is read and written (source or destination of an edge); proxies that
+  cannot read (write) the field are excluded from broadcast (reduce) *at
+  plan-construction time*.  Under OEC mirrors have no out-edges, so a
+  source-read field needs no broadcast; under IEC mirrors have no in-edges,
+  so a destination-write field needs no reduce; under CVC the surviving
+  partners collapse to the grid row/column.
+* **update-driven communication** (UO, Section III-D2): per-proxy dirty bits
+  restrict each message to values actually written since the last sync, at
+  the cost of a device-side extraction scan (priced by the cost model).
+  The alternative (AS) ships every shared value every round, as Lux does.
+* **address memoization** (footnote 1): both sides agree on a fixed
+  exchange order at partition time, so messages carry no global IDs; with
+  memoization off, every element ships an 8-byte ID (Lux's wire format).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.comm.bitset import Bitset
+from repro.comm.buffers import Message, MessageHeader
+from repro.errors import CommunicationError, ConfigurationError
+from repro.partition.base import PartitionedGraph
+
+__all__ = ["FieldSpec", "CommConfig", "GluonComm"]
+
+_REDUCERS: dict[str, Callable] = {
+    "min": np.minimum,
+    "max": np.maximum,
+    "add": np.add,
+}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Synchronization contract for one label field.
+
+    Attributes
+    ----------
+    name:
+        field identifier.
+    dtype:
+        NumPy dtype of the label (determines wire width).
+    reduce_op:
+        ``min`` / ``max`` / ``add`` — how concurrent writes combine.
+    read_at:
+        where the operator *reads* the field relative to an edge:
+        ``src`` (push reads the source's label; pull reads in-neighbors,
+        which are sources of the reversed... i.e. still the proxies with
+        local out-edges), ``dst``, ``any``, or ``none`` (never read
+        remotely -> broadcast eliminated).
+    write_at:
+        where the operator *writes*: ``src``, ``dst``, ``any``, or
+        ``master`` (only the master computes it -> reduce eliminated).
+    identity:
+        the neutral element; accumulator fields (``add``) are reset to it
+        after their value is extracted for reduction.
+    reset_after_reduce:
+        accumulator semantics (pagerank residuals, kcore decrements).
+    """
+
+    name: str
+    dtype: object
+    reduce_op: str = "min"
+    read_at: str = "src"
+    write_at: str = "dst"
+    identity: float = 0
+    reset_after_reduce: bool = False
+
+    def __post_init__(self):
+        if self.reduce_op not in _REDUCERS:
+            raise ConfigurationError(f"unknown reduce op {self.reduce_op!r}")
+        if self.read_at not in ("src", "dst", "any", "none"):
+            raise ConfigurationError(f"bad read_at {self.read_at!r}")
+        if self.write_at not in ("src", "dst", "any", "master"):
+            raise ConfigurationError(f"bad write_at {self.write_at!r}")
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Which communication optimizations are active.
+
+    ``update_only=True, memoize_addresses=True`` is D-IrGL's default (UO);
+    ``update_only=False`` is the AS variant; Lux is
+    ``CommConfig(update_only=False, memoize_addresses=False)``.
+    ``invariant_filtering`` exists for ablation (always on in D-IrGL).
+    """
+
+    update_only: bool = True
+    memoize_addresses: bool = True
+    invariant_filtering: bool = True
+
+
+@dataclass
+class _PairPlan:
+    """Aligned send/recv index lists for one (sender, receiver) pair."""
+
+    send_idx: np.ndarray  # local ids on the sender
+    recv_idx: np.ndarray  # local ids on the receiver, aligned element-wise
+
+
+class GluonComm:
+    """Synchronization engine for one partitioned graph and field set."""
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        fields: list[FieldSpec],
+        config: CommConfig = CommConfig(),
+    ):
+        self.pg = pg
+        self.config = config
+        self.fields = {f.name: f for f in fields}
+        if len(self.fields) != len(fields):
+            raise ConfigurationError("duplicate field names")
+        # updated[field][p] — dirty bits over partition p's local proxies
+        self.updated: dict[str, list[Bitset]] = {
+            f.name: [Bitset(p.num_local) for p in pg.parts] for f in fields
+        }
+        # plans[field] -> (reduce_plans, broadcast_plans); each maps
+        # (sender, receiver) -> _PairPlan
+        self._plans: dict[str, tuple[dict, dict]] = {
+            f.name: self._build_plans(f) for f in fields
+        }
+
+    # ------------------------------------------------------------------ #
+    # plan construction
+    # ------------------------------------------------------------------ #
+    def _proxy_filter(self, part, location: str) -> np.ndarray:
+        """Which local proxies can read/write a field at ``location``."""
+        if location == "src":
+            return part.has_out_edges()
+        if location == "dst":
+            return part.has_in_edges()
+        return np.ones(part.num_local, dtype=bool)  # "any"
+
+    def _build_plans(self, spec: FieldSpec):
+        reduce_plans: dict[tuple[int, int], _PairPlan] = {}
+        broadcast_plans: dict[tuple[int, int], _PairPlan] = {}
+        filtering = self.config.invariant_filtering
+
+        if spec.write_at != "master":
+            for r in self.pg.parts:  # r = mirror side (reduce sender)
+                writable = (
+                    self._proxy_filter(r, spec.write_at) if filtering else None
+                )
+                for m, send_idx in r.mirror_exchange.items():
+                    recv_idx = self.pg.parts[m].master_exchange[r.pid]
+                    if writable is not None:
+                        mask = writable[send_idx]
+                        if not mask.any():
+                            continue
+                        send_idx = send_idx[mask]
+                        recv_idx = recv_idx[mask]
+                    reduce_plans[(r.pid, m)] = _PairPlan(send_idx, recv_idx)
+
+        if spec.read_at != "none":
+            for r in self.pg.parts:  # r = mirror side (broadcast receiver)
+                readable = (
+                    self._proxy_filter(r, spec.read_at) if filtering else None
+                )
+                for m, recv_idx in r.mirror_exchange.items():
+                    send_idx = self.pg.parts[m].master_exchange[r.pid]
+                    if readable is not None:
+                        mask = readable[recv_idx]
+                        if not mask.any():
+                            continue
+                        send_idx = send_idx[mask]
+                        recv_idx = recv_idx[mask]
+                    broadcast_plans[(m, r.pid)] = _PairPlan(send_idx, recv_idx)
+
+        return reduce_plans, broadcast_plans
+
+    # ------------------------------------------------------------------ #
+    # introspection (used by tests, stats, and the study's analysis)
+    # ------------------------------------------------------------------ #
+    def reduce_partners(self, field: str, pid: int) -> list[int]:
+        """Partitions ``pid`` sends reduce messages to."""
+        return sorted(m for (r, m) in self._plans[field][0] if r == pid)
+
+    def broadcast_partners(self, field: str, pid: int) -> list[int]:
+        """Partitions ``pid`` sends broadcast messages to."""
+        return sorted(r for (m, r) in self._plans[field][1] if m == pid)
+
+    def mark_updated(self, field: str, pid: int, local_ids) -> None:
+        """Engine hook: record that the operator wrote these proxies."""
+        self.updated[field][pid].set(local_ids)
+
+    # ------------------------------------------------------------------ #
+    # reduce
+    # ------------------------------------------------------------------ #
+    def make_reduce_messages(
+        self, field: str, pid: int, labels: list[np.ndarray]
+    ) -> list[Message]:
+        """Extract this partition's reduce messages (mirror -> master).
+
+        Under UO only dirty elements ship (dirty bits for sent mirrors are
+        cleared; accumulators are reset to identity).  Under AS the full
+        invariant-filtered exchange ships.
+        """
+        spec = self.fields[field]
+        reduce_plans, _ = self._plans[field]
+        cfg = self.config
+        part = self.pg.parts[pid]
+        dirty = self.updated[field][pid]
+        out: list[Message] = []
+        sent_union: list[np.ndarray] = []
+
+        for (r, m), plan in reduce_plans.items():
+            if r != pid:
+                continue
+            send_idx = plan.send_idx
+            if cfg.update_only:
+                mask = dirty.bits[send_idx]
+                if not mask.any():
+                    continue
+                positions = np.flatnonzero(mask)
+                sel = send_idx[positions]
+                scanned = len(send_idx)
+            else:
+                positions = None
+                sel = send_idx
+                scanned = 0
+            vals = labels[pid][sel].copy()
+            out.append(
+                Message(
+                    header=MessageHeader(pid, m, "reduce", field),
+                    values=vals,
+                    positions=positions,
+                    exchange_len=len(send_idx),
+                    explicit_ids=(
+                        part.local_to_global[sel]
+                        if not cfg.memoize_addresses
+                        else None
+                    ),
+                    scanned_elements=scanned,
+                )
+            )
+            sent_union.append(sel)
+
+        if sent_union:
+            sent = np.concatenate(sent_union)
+            dirty.clear(sent)
+            if spec.reset_after_reduce:
+                labels[pid][sent] = spec.identity
+        return out
+
+    def apply_reduce(
+        self, msg: Message, labels: list[np.ndarray]
+    ) -> np.ndarray:
+        """Combine a reduce message into the master's values.
+
+        Returns the local IDs (on the receiver) whose value changed; those
+        masters are marked dirty so the following broadcast propagates them,
+        and the engine activates them in its worklist.
+        """
+        field = msg.header.field
+        spec = self.fields[field]
+        plan = self._plans[field][0].get((msg.header.src, msg.header.dst))
+        if plan is None:
+            raise CommunicationError(
+                f"no reduce plan {msg.header.src}->{msg.header.dst} for {field}"
+            )
+        tgt = (
+            plan.recv_idx
+            if msg.positions is None
+            else plan.recv_idx[msg.positions]
+        )
+        dst = msg.header.dst
+        old = labels[dst][tgt]
+        if spec.reduce_op == "add":
+            new = old + msg.values
+            changed_mask = msg.values != 0
+        else:
+            new = _REDUCERS[spec.reduce_op](old, msg.values)
+            changed_mask = new != old
+        labels[dst][tgt] = new
+        changed = tgt[changed_mask]
+        if len(changed):
+            self.updated[field][dst].set(changed)
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # broadcast
+    # ------------------------------------------------------------------ #
+    def make_broadcast_messages(
+        self, field: str, pid: int, labels: list[np.ndarray]
+    ) -> list[Message]:
+        """Extract this partition's broadcast messages (master -> mirrors)."""
+        spec = self.fields[field]
+        _, broadcast_plans = self._plans[field]
+        cfg = self.config
+        part = self.pg.parts[pid]
+        dirty = self.updated[field][pid]
+        out: list[Message] = []
+        sent_union: list[np.ndarray] = []
+
+        for (m, r), plan in broadcast_plans.items():
+            if m != pid:
+                continue
+            send_idx = plan.send_idx
+            if cfg.update_only:
+                mask = dirty.bits[send_idx]
+                if not mask.any():
+                    continue
+                positions = np.flatnonzero(mask)
+                sel = send_idx[positions]
+                scanned = len(send_idx)
+            else:
+                positions = None
+                sel = send_idx
+                scanned = 0
+            out.append(
+                Message(
+                    header=MessageHeader(pid, r, "broadcast", field),
+                    values=labels[pid][sel].copy(),
+                    positions=positions,
+                    exchange_len=len(send_idx),
+                    explicit_ids=(
+                        part.local_to_global[sel]
+                        if not cfg.memoize_addresses
+                        else None
+                    ),
+                    scanned_elements=scanned,
+                )
+            )
+            sent_union.append(sel)
+
+        if sent_union:
+            # A master broadcasting to several grid-row partners clears its
+            # dirty bit only once all partners' messages are built.
+            dirty.clear(np.concatenate(sent_union))
+        return out
+
+    def apply_broadcast(
+        self, msg: Message, labels: list[np.ndarray]
+    ) -> np.ndarray:
+        """Install canonical values into mirror proxies.
+
+        Returns receiver-local IDs whose value changed (worklist activation);
+        mirrors are *not* marked dirty — a broadcast value is canonical and
+        must not be reduced back.
+        """
+        field = msg.header.field
+        plan = self._plans[field][1].get((msg.header.src, msg.header.dst))
+        if plan is None:
+            raise CommunicationError(
+                f"no broadcast plan {msg.header.src}->{msg.header.dst} for {field}"
+            )
+        tgt = (
+            plan.recv_idx
+            if msg.positions is None
+            else plan.recv_idx[msg.positions]
+        )
+        dst = msg.header.dst
+        old = labels[dst][tgt]
+        changed_mask = old != msg.values
+        labels[dst][tgt] = msg.values
+        return tgt[changed_mask]
+
+    # ------------------------------------------------------------------ #
+    # bulk-synchronous convenience
+    # ------------------------------------------------------------------ #
+    def bsp_sync(
+        self, field: str, labels: list[np.ndarray]
+    ) -> tuple[list[Message], list[np.ndarray]]:
+        """One full BSP synchronization of ``field``.
+
+        Returns every message generated (for cost accounting) and, per
+        partition, the local IDs whose value changed (for worklist
+        activation on the receiving side).
+        """
+        P = self.pg.num_partitions
+        changed: list[list[np.ndarray]] = [[] for _ in range(P)]
+        msgs: list[Message] = []
+
+        for p in range(P):
+            for msg in self.make_reduce_messages(field, p, labels):
+                msgs.append(msg)
+                ch = self.apply_reduce(msg, labels)
+                if len(ch):
+                    changed[msg.header.dst].append(ch)
+        for p in range(P):
+            for msg in self.make_broadcast_messages(field, p, labels):
+                msgs.append(msg)
+                ch = self.apply_broadcast(msg, labels)
+                if len(ch):
+                    changed[msg.header.dst].append(ch)
+
+        merged = [
+            np.unique(np.concatenate(c)) if c else np.empty(0, dtype=np.int64)
+            for c in changed
+        ]
+        return msgs, merged

@@ -1,0 +1,49 @@
+"""Shared numeric constants and dtypes.
+
+The framework standardizes on fixed-width NumPy dtypes everywhere so that
+simulated message sizes are well defined (a label is ``LABEL_DTYPE`` wide on
+the wire, a global vertex ID is ``GID_DTYPE`` wide, ...), mirroring how a
+real buffer-based communication substrate (Gluon over MPI) sizes its sends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dtype for local vertex indices within one partition.
+VID_DTYPE = np.int32
+
+#: dtype for global vertex IDs (what Lux sends on the wire; Gluon elides it).
+GID_DTYPE = np.int64
+
+#: dtype for edge offsets (CSR indptr). 64-bit: edge counts exceed 2^31.
+EID_DTYPE = np.int64
+
+#: dtype for vertex labels / algorithm state communicated between GPUs.
+LABEL_DTYPE = np.uint32
+
+#: dtype for floating-point labels (pagerank ranks / residuals).
+FLOAT_LABEL_DTYPE = np.float32
+
+#: dtype for edge weights (randomized small integers, as in the paper).
+WEIGHT_DTYPE = np.uint32
+
+#: Sentinel "infinity" for distance-style labels.
+INF = np.iinfo(np.uint32).max
+
+#: Bytes per wire element, used by the communication volume accounting.
+LABEL_BYTES = np.dtype(LABEL_DTYPE).itemsize
+FLOAT_LABEL_BYTES = np.dtype(FLOAT_LABEL_DTYPE).itemsize
+GID_BYTES = np.dtype(GID_DTYPE).itemsize
+
+#: GiB, for reporting.
+GIB = float(2**30)
+
+#: Randomized edge-weight range used by the paper's sssp inputs ([1, 100]).
+MAX_EDGE_WEIGHT = 100
+
+#: Warp width of every NVIDIA GPU modeled here.
+WARP_SIZE = 32
+
+#: Default CUDA thread-block size assumed by the load-balancer models.
+THREADS_PER_BLOCK = 256

@@ -1,0 +1,94 @@
+"""Converting work units and messages into simulated seconds.
+
+All times are at **paper scale**: work units and message bytes are
+multiplied by the dataset's ``scale_factor`` before pricing, so a stand-in
+one thousandth the size of clueweb12 produces clueweb12-sized times, GB
+labels, and OOM behavior.  Relative comparisons (the study's subject) are
+unaffected; absolute magnitudes land in the paper's ballpark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.buffers import Message
+from repro.comm.router import Router
+from repro.hw.cluster import Cluster
+from repro.loadbalance.base import LoadBalancer
+
+__all__ = ["CostModel"]
+
+#: Device bytes touched per edge traversal: an index load, a label gather,
+#: a label scatter — dominated by wasted cache-line transfers on random
+#: access.  Calibrated so a P100 sustains ~2 G edge-traversals/s, in line
+#: with published graph-framework throughput on that part.
+BYTES_PER_EDGE_UNIT = 64.0
+
+#: Device bytes per frontier-vertex touch (worklist pop, label read).
+BYTES_PER_VERTEX_UNIT = 16.0
+
+#: Host-side cost of the global termination allreduce, per participating
+#: host hop (a small latency tree).
+ALLREDUCE_HOP_S = 20e-6
+
+
+@dataclass
+class CostModel:
+    """Prices compute rounds and message legs for one run."""
+
+    cluster: Cluster
+    balancer: LoadBalancer
+    scale_factor: float = 1.0
+
+    def __post_init__(self):
+        self.router = Router(self.cluster, volume_scale=self.scale_factor)
+
+    # ------------------------------------------------------------------ #
+    # compute
+    # ------------------------------------------------------------------ #
+    def compute_time(
+        self, pid: int, frontier_degrees: np.ndarray, extra_vertices: int = 0
+    ) -> float:
+        """Seconds partition ``pid``'s GPU spends on one compute phase.
+
+        ``extra_vertices`` charges master-compute style per-vertex work
+        that has no edge component.
+        """
+        gpu = self.cluster.gpus[pid]
+        cost = self.balancer.cost(frontier_degrees, gpu.concurrent_blocks)
+        work_bytes = (
+            cost.effective_work * BYTES_PER_EDGE_UNIT
+            + (len(frontier_degrees) + extra_vertices) * BYTES_PER_VERTEX_UNIT
+        ) * self.scale_factor
+        if cost.total_work == 0 and extra_vertices == 0 and len(frontier_degrees) == 0:
+            return 0.0
+        return gpu.kernel_launch_overhead_s + gpu.seconds_for_bytes(work_bytes)
+
+    def master_time(self, pid: int, num_masters_touched: int) -> float:
+        """Master-phase kernel: per-vertex work only."""
+        if num_masters_touched == 0:
+            return 0.0
+        gpu = self.cluster.gpus[pid]
+        work_bytes = num_masters_touched * BYTES_PER_VERTEX_UNIT * self.scale_factor
+        return gpu.kernel_launch_overhead_s + gpu.seconds_for_bytes(work_bytes)
+
+    # ------------------------------------------------------------------ #
+    # communication
+    # ------------------------------------------------------------------ #
+    def message_bytes(self, msg: Message) -> float:
+        return self.router.scaled_bytes(msg)
+
+    def extraction_time(self, msg: Message) -> float:
+        return self.router.extraction_time(msg)
+
+    def legs(self, msg: Message):
+        return self.router.legs(msg)
+
+    def allreduce_time(self) -> float:
+        """Per-round global termination check across hosts."""
+        h = self.cluster.num_hosts
+        if h <= 1:
+            return 1e-6
+        return 2.0 * ALLREDUCE_HOP_S * float(np.ceil(np.log2(h)))

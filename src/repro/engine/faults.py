@@ -1,0 +1,39 @@
+"""Fault injection for the simulated cluster.
+
+The paper's figures contain points that are missing not because of memory
+but because "the benchmarks failed ... due to crashes".  A
+:class:`FaultPlan` reproduces that failure mode deterministically: it makes
+a chosen GPU raise :class:`~repro.errors.SimulatedCrashError` at a chosen
+round, letting the study drivers' missing-point handling and any
+user-level retry logic be tested without relying on real flaky hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulatedCrashError
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic crash schedule: ``{gpu_index: round_index}``.
+
+    Attach to an engine via its ``fault_plan`` parameter; the engine calls
+    :meth:`check` at the start of each (local) round.
+    """
+
+    crashes: dict[int, int] = field(default_factory=dict)
+
+    def check(self, pid: int, round_index: int) -> None:
+        """Raise if this GPU is scheduled to die at (or before) this round."""
+        due = self.crashes.get(pid)
+        if due is not None and round_index >= due:
+            raise SimulatedCrashError(
+                f"GPU {pid} crashed at round {round_index} (fault plan)"
+            )
+
+    def __bool__(self) -> bool:
+        return bool(self.crashes)

@@ -1,0 +1,28 @@
+"""Run result container shared by both engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.stats import RunStats
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Output of one benchmark run: the answer plus the telemetry.
+
+    ``extra`` carries additional gathered global arrays the app listed in
+    ``extra_outputs`` (e.g. Brandes' forward phase exposes ``dist``
+    alongside its ``sigma`` output for the backward phase).
+    """
+
+    labels: np.ndarray  # global per-vertex output (gathered from masters)
+    stats: RunStats
+    extra: dict = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RunResult {self.stats.summary()}>"

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+``SimulatedOOMError`` deserves special mention: it is *not* a bug signal but
+the mechanism by which the performance simulator reproduces the paper's
+"missing data points" — configurations whose partitions do not fit in GPU
+memory at paper scale fail exactly the way the real runs did.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory structure is malformed."""
+
+
+class PartitioningError(ReproError):
+    """A partitioning policy could not produce a valid partition."""
+
+
+class CommunicationError(ReproError):
+    """The communication substrate detected an inconsistency."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its round budget."""
+
+
+class ConfigurationError(ReproError):
+    """An engine/framework configuration is invalid or unsupported."""
+
+
+class UnsupportedFeatureError(ConfigurationError):
+    """A framework facade was asked for a feature the real system lacks.
+
+    For example Lux supports only the IEC partitioning policy; asking the
+    Lux facade for CVC raises this error rather than silently substituting.
+    """
+
+
+class SimulatedOOMError(ReproError):
+    """A simulated GPU ran out of device memory at paper scale.
+
+    Attributes
+    ----------
+    gpu_index:
+        Index of the GPU (partition) that overflowed.
+    required_bytes:
+        Paper-scale bytes the partition needed.
+    capacity_bytes:
+        Device capacity of the simulated GPU.
+    """
+
+    def __init__(self, gpu_index: int, required_bytes: float, capacity_bytes: float):
+        self.gpu_index = int(gpu_index)
+        self.required_bytes = float(required_bytes)
+        self.capacity_bytes = float(capacity_bytes)
+        super().__init__(
+            f"simulated OOM on GPU {gpu_index}: needs "
+            f"{required_bytes / 2**30:.2f} GiB > capacity "
+            f"{capacity_bytes / 2**30:.2f} GiB"
+        )
+
+
+class SimulatedCrashError(ReproError):
+    """A framework facade models a configuration the real system crashed on."""

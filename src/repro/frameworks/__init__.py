@@ -1,0 +1,18 @@
+"""Framework facades: each system's documented, fixed design choices."""
+
+from repro.frameworks.base import Framework
+from repro.frameworks.dirgl import DIrGL
+from repro.frameworks.lux import Lux
+from repro.frameworks.gunrock import Gunrock
+from repro.frameworks.groute import Groute
+from repro.frameworks.registry import FRAMEWORKS, get_framework
+
+__all__ = [
+    "Framework",
+    "DIrGL",
+    "Lux",
+    "Gunrock",
+    "Groute",
+    "FRAMEWORKS",
+    "get_framework",
+]

@@ -1,0 +1,34 @@
+"""Groute facade (Ben-Nun et al., PPoPP'17).
+
+Single-host multi-GPU, **asynchronous** by design (the only non-D-IrGL
+framework with async GPU-GPU communication).  Fixed choices per the study:
+
+* METIS edge-cut partitioning (modeled by the locality-ordered
+  ``metis-like`` policy);
+* data-driven algorithms, except cc which uses **pointer jumping** (its
+  algorithmic advantage in Table II);
+* fine-grained async messaging: modeled as BASP with update-driven sends.
+"""
+
+from __future__ import annotations
+
+from repro.comm.gluon import CommConfig
+from repro.frameworks.base import Framework
+from repro.hw.memory import GROUTE_PROFILE
+
+__all__ = ["Groute"]
+
+
+class Groute(Framework):
+    name = "groute"
+    supported_policies = ("metis-like",)
+    multi_host = False
+    load_balancer = "twc"
+    comm_config = CommConfig(update_only=True, memoize_addresses=True)
+    execution = "async"
+    memory_profile = GROUTE_PROFILE
+    app_aliases = {"cc": "cc-pj"}
+    unsupported_apps = ("bfs-do",)
+
+    def __init__(self, policy: str = "metis-like"):
+        super().__init__(policy)

@@ -1,0 +1,33 @@
+"""Gunrock facade (Wang et al., PPoPP'15; multi-GPU: Pan et al., IPDPS'17).
+
+Single-host multi-GPU only.  Fixed choices per the study (Section IV-B):
+
+* the recommended **random** vertex partitioning;
+* the **LB** load-balancing scheme (merge-path over the frontier's edges);
+* **direction-optimizing** bfs (its algorithmic advantage in Table II);
+* data-driven execution, BSP-style;
+* **pr is excluded** — it "produced incorrect output" in the study.
+"""
+
+from __future__ import annotations
+
+from repro.comm.gluon import CommConfig
+from repro.frameworks.base import Framework
+from repro.hw.memory import GUNROCK_PROFILE
+
+__all__ = ["Gunrock"]
+
+
+class Gunrock(Framework):
+    name = "gunrock"
+    supported_policies = ("random",)
+    multi_host = False
+    load_balancer = "lb"
+    comm_config = CommConfig(update_only=False, memoize_addresses=False)
+    execution = "sync"
+    memory_profile = GUNROCK_PROFILE
+    app_aliases = {"bfs": "bfs-do"}
+    unsupported_apps = ("pr", "pr-push", "cc-pj")
+
+    def __init__(self, policy: str = "random"):
+        super().__init__(policy)

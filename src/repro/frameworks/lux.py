@@ -1,0 +1,39 @@
+"""Lux facade (Jia et al., VLDB'17).
+
+Lux's documented, fixed design choices as the study exercises them:
+
+* only the edge-balanced **incoming edge-cut** (IEC) partitioning;
+* per-thread-block edge distribution (**TB**) — no inter-block balancing;
+* synchronizes **all shared** proxies every round (no update tracking) and
+  ships **global IDs** with every value (no address memoization);
+* **bulk-synchronous** execution only;
+* a **static memory allocation** the user sizes up front (Table III shows
+  the same 5.85 GB on every input; large graphs did not fit "even with the
+  maximum possible GPU memory");
+* in the study, only **cc** and **pr** were usable ("the others were
+  incorrect or not available"), and pr is topology-driven pull.
+"""
+
+from __future__ import annotations
+
+from repro.comm.gluon import CommConfig
+from repro.frameworks.base import Framework
+from repro.hw.memory import LUX_PROFILE
+
+__all__ = ["Lux"]
+
+
+class Lux(Framework):
+    name = "lux"
+    supported_policies = ("iec",)
+    multi_host = True
+    load_balancer = "tb"
+    comm_config = CommConfig(update_only=False, memoize_addresses=False)
+    execution = "sync"
+    memory_profile = LUX_PROFILE
+    #: bfs/sssp/kcore were "incorrect or not available" (Section IV-B);
+    #: the study benchmarks Lux on cc and pr only.
+    unsupported_apps = ("bfs", "sssp", "kcore", "bfs-do", "cc-pj", "pr-push")
+
+    def __init__(self, policy: str = "iec"):
+        super().__init__(policy)

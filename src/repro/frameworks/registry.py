@@ -1,0 +1,29 @@
+"""Framework registry."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.frameworks.base import Framework
+from repro.frameworks.dirgl import DIrGL
+from repro.frameworks.groute import Groute
+from repro.frameworks.gunrock import Gunrock
+from repro.frameworks.lux import Lux
+
+__all__ = ["FRAMEWORKS", "get_framework"]
+
+FRAMEWORKS: dict[str, type[Framework]] = {
+    "d-irgl": DIrGL,
+    "lux": Lux,
+    "gunrock": Gunrock,
+    "groute": Groute,
+}
+
+
+def get_framework(name: str, **kwargs) -> Framework:
+    """Instantiate a framework facade by name."""
+    try:
+        return FRAMEWORKS[name](**kwargs)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown framework {name!r}; known: {sorted(FRAMEWORKS)}"
+        ) from None

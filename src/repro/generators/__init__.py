@@ -1,0 +1,25 @@
+"""Deterministic graph generators and the Table I dataset registry."""
+
+from repro.generators.rmat import rmat
+from repro.generators.powerlaw import powerlaw_social
+from repro.generators.webcrawl import webcrawl
+from repro.generators.smallworld import small_world
+from repro.generators.datasets import (
+    DATASETS,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+
+__all__ = [
+    "rmat",
+    "powerlaw_social",
+    "webcrawl",
+    "small_world",
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+]

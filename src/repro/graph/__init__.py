@@ -1,0 +1,42 @@
+"""Graph substrate: immutable CSR graphs, builders, IO, and properties."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import (
+    from_edges,
+    from_networkx,
+    to_networkx,
+)
+from repro.graph.properties import (
+    GraphProperties,
+    approximate_diameter,
+    degree_histogram,
+    properties,
+)
+from repro.graph.transform import (
+    add_random_weights,
+    largest_component_subgraph,
+    relabel,
+    reverse,
+    make_undirected,
+)
+from repro.graph.io import load_edgelist, save_edgelist, load_binary, save_binary
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_networkx",
+    "to_networkx",
+    "GraphProperties",
+    "approximate_diameter",
+    "degree_histogram",
+    "properties",
+    "add_random_weights",
+    "largest_component_subgraph",
+    "relabel",
+    "reverse",
+    "make_undirected",
+    "load_edgelist",
+    "save_edgelist",
+    "load_binary",
+    "save_binary",
+]

@@ -1,0 +1,196 @@
+"""Immutable CSR (compressed sparse row) directed graph.
+
+The CSR layout mirrors what every GPU graph framework in the paper loads
+into device memory: an ``indptr`` offsets array of length ``|V| + 1`` and an
+``indices`` array of destination vertices of length ``|E|``, plus an optional
+parallel array of edge weights (the paper adds randomized weights to every
+input for sssp).
+
+Instances are immutable: NumPy arrays are stored with ``writeable=False`` so
+that views handed to partitions and engines can never corrupt the shared
+topology.  The reverse (transpose) graph needed by pull-style operators is
+computed lazily once and cached, with an edge-permutation retained so weights
+stay associated with the same logical edge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import EID_DTYPE, VID_DTYPE, WEIGHT_DTYPE
+from repro.errors import GraphFormatError
+
+__all__ = ["CSRGraph"]
+
+
+def _freeze(a: np.ndarray) -> np.ndarray:
+    a = np.ascontiguousarray(a)
+    a.flags.writeable = False
+    return a
+
+
+class CSRGraph:
+    """A directed graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_vertices + 1``; out-edges of vertex
+        ``v`` are ``indices[indptr[v]:indptr[v+1]]``.
+    indices:
+        destination vertex of each edge, ``int32``.
+    weights:
+        optional per-edge weights (parallel to ``indices``).
+
+    Notes
+    -----
+    Vertices are dense integers ``0 .. num_vertices - 1``.  Self-loops and
+    parallel edges are permitted (real web crawls contain both).
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "_reverse", "_name")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        name: str = "",
+    ):
+        indptr = np.asarray(indptr, dtype=EID_DTYPE)
+        indices = np.asarray(indices, dtype=VID_DTYPE)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphFormatError("indptr and indices must be 1-D arrays")
+        if len(indptr) == 0:
+            raise GraphFormatError("indptr must have at least one entry")
+        if indptr[0] != 0:
+            raise GraphFormatError("indptr[0] must be 0")
+        if indptr[-1] != len(indices):
+            raise GraphFormatError(
+                f"indptr[-1]={indptr[-1]} does not match |E|={len(indices)}"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise GraphFormatError("edge destination out of range")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=WEIGHT_DTYPE)
+            if weights.shape != indices.shape:
+                raise GraphFormatError("weights must parallel indices")
+            self.weights: Optional[np.ndarray] = _freeze(weights)
+        else:
+            self.weights = None
+        self.indptr = _freeze(indptr)
+        self.indices = _freeze(indices)
+        self._reverse: Optional["CSRGraph"] = None
+        self._name = name
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Human-readable dataset name (empty for anonymous graphs)."""
+        return self._name
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    @property
+    def has_weights(self) -> bool:
+        return self.weights is not None
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (``int64`` array, computed, O(|V|))."""
+        return np.diff(self.indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex (via bincount over destinations)."""
+        return np.bincount(self.indices, minlength=self.num_vertices).astype(
+            EID_DTYPE
+        )
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` (a read-only view, no copy)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_weights_of(self, v: int) -> np.ndarray:
+        """Weights of the out-edges of ``v`` (requires weights)."""
+        if self.weights is None:
+            raise GraphFormatError("graph has no weights")
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_sources(self) -> np.ndarray:
+        """Expand CSR to a per-edge source array (``int32``, O(|E|))."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=VID_DTYPE), self.out_degrees()
+        )
+
+    # ------------------------------------------------------------------ #
+    # transpose
+    # ------------------------------------------------------------------ #
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (in-edges become out-edges).
+
+        Cached after first computation; weights follow their logical edge.
+        The construction is fully vectorized (stable argsort by destination).
+        """
+        if self._reverse is None:
+            src = self.edge_sources()
+            dst = self.indices
+            order = np.argsort(dst, kind="stable")
+            r_indptr = np.zeros(self.num_vertices + 1, dtype=EID_DTYPE)
+            np.cumsum(
+                np.bincount(dst, minlength=self.num_vertices), out=r_indptr[1:]
+            )
+            r_indices = src[order]
+            r_weights = self.weights[order] if self.weights is not None else None
+            rev = CSRGraph(r_indptr, r_indices, r_weights, name=self._name + "^T")
+            rev._reverse = self
+            self._reverse = rev
+        return self._reverse
+
+    # ------------------------------------------------------------------ #
+    # size accounting (used by the memory model)
+    # ------------------------------------------------------------------ #
+    def nbytes(self, include_weights: bool = True) -> int:
+        """Bytes of the CSR arrays as laid out in (simulated) device memory."""
+        total = self.indptr.nbytes + self.indices.nbytes
+        if include_weights and self.weights is not None:
+            total += self.weights.nbytes
+        return total
+
+    # ------------------------------------------------------------------ #
+    # dunder
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        w = "weighted" if self.has_weights else "unweighted"
+        label = self._name or "CSRGraph"
+        return f"<{label}: |V|={self.num_vertices:,} |E|={self.num_edges:,} {w}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        if not (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        ):
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        if self.weights is not None and not np.array_equal(
+            self.weights, other.weights
+        ):
+            return False
+        return True
+
+    def __hash__(self):  # pragma: no cover - identity hashing for caches
+        return id(self)

@@ -1,0 +1,92 @@
+"""Graph serialization.
+
+Two formats:
+
+* **edge list** — whitespace-separated ``src dst [weight]`` text lines, the
+  lingua franca of SNAP / WebGraph dumps.
+* **binary** — a compact ``.npz`` holding the CSR arrays directly, standing
+  in for the Galois ``.gr`` binary format the paper loads partitions from
+  ("in-memory representations of the partitions can be written to disk").
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+__all__ = ["save_edgelist", "load_edgelist", "save_binary", "load_binary"]
+
+_MAGIC = "repro-csr-v1"
+
+
+def save_edgelist(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write ``src dst [weight]`` lines (no comments)."""
+    src = graph.edge_sources()
+    if graph.has_weights:
+        data = np.column_stack([src, graph.indices, graph.weights])
+        np.savetxt(path, data, fmt="%d")
+    else:
+        data = np.column_stack([src, graph.indices])
+        np.savetxt(path, data, fmt="%d")
+
+
+def load_edgelist(
+    path: str | os.PathLike,
+    num_vertices: int | None = None,
+    weighted: bool | None = None,
+    name: str = "",
+) -> CSRGraph:
+    """Read an edge list; ``#``-prefixed comment lines are skipped.
+
+    ``weighted=None`` auto-detects a third column.
+    """
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.filterwarnings("ignore", message=".*no data.*")
+        data = np.loadtxt(path, comments="#", dtype=np.int64, ndmin=2)
+    if data.size == 0:
+        if num_vertices is None:
+            raise GraphFormatError("empty edge list with unknown vertex count")
+        return from_edges(
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            num_vertices=num_vertices, name=name,
+        )
+    cols = data.shape[1]
+    if cols not in (2, 3):
+        raise GraphFormatError(f"expected 2 or 3 columns, found {cols}")
+    if weighted is None:
+        weighted = cols == 3
+    if weighted and cols < 3:
+        raise GraphFormatError("weighted load requested but file has 2 columns")
+    w = data[:, 2] if weighted else None
+    return from_edges(data[:, 0], data[:, 1], num_vertices=num_vertices, weights=w, name=name)
+
+
+def save_binary(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write the CSR arrays as a compressed ``.npz``."""
+    payload = {
+        "magic": np.array(_MAGIC),
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "name": np.array(graph.name),
+    }
+    if graph.has_weights:
+        payload["weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_binary(path: str | os.PathLike) -> CSRGraph:
+    """Read a graph written by :func:`save_binary`."""
+    with np.load(path, allow_pickle=False) as z:
+        if "magic" not in z or str(z["magic"]) != _MAGIC:
+            raise GraphFormatError(f"{path} is not a repro binary graph")
+        weights = z["weights"] if "weights" in z else None
+        return CSRGraph(
+            z["indptr"], z["indices"], weights, name=str(z["name"])
+        )

@@ -1,0 +1,159 @@
+"""Graph property measurement — regenerates the paper's Table I columns.
+
+Table I reports, per input: |V|, |E|, |E|/|V|, max out-degree, max in-degree,
+approximate diameter, and on-disk size.  ``properties`` computes all of them
+for a :class:`CSRGraph`; the approximate diameter uses the standard
+double-sweep BFS lower bound (exact diameters of billion-edge crawls are
+infeasible, and the paper itself reports approximations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import GIB
+from repro.graph.csr import CSRGraph
+from repro.utils import rng_from_seed
+
+__all__ = [
+    "GraphProperties",
+    "properties",
+    "approximate_diameter",
+    "degree_histogram",
+    "bfs_levels",
+]
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """The Table I row for one input."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    approx_diameter: int
+    size_gb: float
+
+    def row(self) -> tuple:
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            round(self.avg_degree, 1),
+            self.max_out_degree,
+            self.max_in_degree,
+            self.approx_diameter,
+            round(self.size_gb, 2),
+        )
+
+
+def bfs_levels(graph: CSRGraph, source: int, undirected: bool = True) -> np.ndarray:
+    """Level-synchronous BFS levels from ``source`` (-1 = unreached).
+
+    Vectorized frontier expansion; treats edges as undirected by default
+    since diameter estimates conventionally ignore direction.
+    """
+    n = graph.num_vertices
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    rev = graph.reverse() if undirected else None
+    depth = 0
+    while len(frontier):
+        depth += 1
+        nbrs = _expand(graph, frontier)
+        if undirected:
+            nbrs = np.concatenate([nbrs, _expand(rev, frontier)])
+        nbrs = np.unique(nbrs)
+        nbrs = nbrs[level[nbrs] == -1]
+        if len(nbrs) == 0:
+            break
+        level[nbrs] = depth
+        frontier = nbrs
+    return level
+
+
+def _expand(graph: CSRGraph, frontier: np.ndarray) -> np.ndarray:
+    """All out-neighbors of the frontier vertices (with duplicates)."""
+    starts = graph.indptr[frontier]
+    ends = graph.indptr[frontier + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=graph.indices.dtype)
+    # Gather ranges [starts[i], ends[i]) without a Python loop:
+    offsets = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+    idx = np.arange(total, dtype=np.int64) + offsets
+    return graph.indices[idx]
+
+
+def approximate_diameter(
+    graph: CSRGraph, num_sweeps: int = 4, seed: int | None = 0
+) -> int:
+    """Double-sweep BFS lower bound on the (undirected) diameter.
+
+    Starts from a random vertex, BFSes to find the farthest vertex, then
+    BFSes again from there; repeated ``num_sweeps`` times keeping the max
+    eccentricity observed.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    rng = rng_from_seed(seed)
+    best = 0
+    # Seed the first sweep at the max-degree vertex: random starts can land
+    # on isolated vertices of sparse graphs and report eccentricity 0.
+    start = int(np.argmax(graph.out_degrees() + graph.in_degrees()))
+    for _ in range(num_sweeps):
+        levels = bfs_levels(graph, start)
+        reached = levels >= 0
+        if not reached.any():
+            break
+        ecc = int(levels[reached].max())
+        best = max(best, ecc)
+        far = np.flatnonzero(levels == ecc)
+        start = int(far[rng.integers(len(far))])
+    return best
+
+
+def degree_histogram(graph: CSRGraph, direction: str = "out") -> np.ndarray:
+    """Histogram ``h`` where ``h[d]`` counts vertices of (in/out-)degree d."""
+    if direction == "out":
+        deg = graph.out_degrees()
+    elif direction == "in":
+        deg = graph.in_degrees()
+    else:
+        raise ValueError("direction must be 'in' or 'out'")
+    return np.bincount(deg)
+
+
+def properties(
+    graph: CSRGraph,
+    name: str | None = None,
+    scale_factor: float = 1.0,
+    diameter_sweeps: int = 4,
+) -> GraphProperties:
+    """Compute the Table I row for ``graph``.
+
+    ``scale_factor`` multiplies the byte size so scaled stand-ins report
+    their paper-scale on-disk footprint (|V|+|E| binary CSR, as the paper's
+    .gr files do).
+    """
+    out_deg = graph.out_degrees()
+    in_deg = graph.in_degrees()
+    size_bytes = graph.nbytes(include_weights=False) * scale_factor
+    return GraphProperties(
+        name=name or graph.name or "graph",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        avg_degree=graph.num_edges / max(graph.num_vertices, 1),
+        max_out_degree=int(out_deg.max(initial=0)),
+        max_in_degree=int(in_deg.max(initial=0)),
+        approx_diameter=approximate_diameter(graph, num_sweeps=diameter_sweeps),
+        size_gb=size_bytes / GIB,
+    )

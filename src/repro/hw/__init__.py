@@ -1,0 +1,30 @@
+"""Simulated hardware: GPUs, hosts, interconnects, and cluster topologies."""
+
+from repro.hw.gpu import GPUSpec, GTX1080, K80, P100, V100
+from repro.hw.host import HostSpec, BRIDGES_HOST, TUXEDO_HOST
+from repro.hw.interconnect import InterconnectSpec, NVSWITCH, PCIE3_X16, OMNIPATH, PINNED_P2P
+from repro.hw.cluster import Cluster, bridges, dgx2, tuxedo, uniform_cluster
+from repro.hw.memory import MemoryModel, MemoryUsage
+
+__all__ = [
+    "GPUSpec",
+    "P100",
+    "K80",
+    "GTX1080",
+    "V100",
+    "HostSpec",
+    "BRIDGES_HOST",
+    "TUXEDO_HOST",
+    "InterconnectSpec",
+    "PCIE3_X16",
+    "OMNIPATH",
+    "PINNED_P2P",
+    "NVSWITCH",
+    "Cluster",
+    "bridges",
+    "dgx2",
+    "tuxedo",
+    "uniform_cluster",
+    "MemoryModel",
+    "MemoryUsage",
+]

@@ -1,0 +1,17 @@
+"""GPU load-balancing strategies as thread-block cost models."""
+
+from repro.loadbalance.base import BlockCost, LoadBalancer, get_balancer
+from repro.loadbalance.twc import TWC
+from repro.loadbalance.alb import ALB
+from repro.loadbalance.lb import GunrockLB
+from repro.loadbalance.tb import LuxTB
+
+__all__ = [
+    "BlockCost",
+    "LoadBalancer",
+    "get_balancer",
+    "TWC",
+    "ALB",
+    "GunrockLB",
+    "LuxTB",
+]

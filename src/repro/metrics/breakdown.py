@@ -1,0 +1,45 @@
+"""Execution-time breakdown rows for the Figure 4/5/6/8/9 reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.stats import RunStats
+
+__all__ = ["Breakdown", "breakdown_row"]
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """One stacked bar: the three buckets plus the GB label on top."""
+
+    label: str
+    max_compute: float
+    min_wait: float
+    device_comm: float
+    comm_volume_gb: float
+
+    @property
+    def total(self) -> float:
+        return self.max_compute + self.min_wait + self.device_comm
+
+    def row(self) -> tuple:
+        return (
+            self.label,
+            round(self.max_compute, 4),
+            round(self.min_wait, 4),
+            round(self.device_comm, 4),
+            round(self.total, 4),
+            round(self.comm_volume_gb, 2),
+        )
+
+
+def breakdown_row(label: str, stats: RunStats) -> Breakdown:
+    """Extract a figure bar from finished run statistics."""
+    return Breakdown(
+        label=label,
+        max_compute=stats.max_compute,
+        min_wait=stats.min_wait,
+        device_comm=stats.device_comm,
+        comm_volume_gb=stats.comm_volume_gb,
+    )

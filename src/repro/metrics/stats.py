@@ -1,0 +1,134 @@
+"""Execution statistics collected by the engines.
+
+The figures' stacked bars decompose execution time exactly as Section V
+describes:
+
+* **Max Compute** — computation time measured on each device, maximum
+  reported;
+* **Min Wait**    — time each host blocks waiting to receive messages,
+  minimum reported;
+* **Device Comm.** — "the rest of the execution time", i.e. the
+  non-overlapped device-host communication (extraction scans + PCIe legs);
+
+plus the communication volume label printed on each bar, the round count,
+and the work items the async analysis quotes (Section V-B4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import GIB
+
+__all__ = ["RoundRecord", "RunStats"]
+
+
+@dataclass
+class RoundRecord:
+    """Telemetry for one (global or local) round."""
+
+    round_index: int
+    active_vertices: int
+    edges_processed: int
+    messages: int
+    comm_bytes: float  # paper-scale wire bytes
+    compute_times: np.ndarray  # per-partition seconds
+    wait_times: np.ndarray
+    device_comm_times: np.ndarray
+    duration: float  # wall-clock of the round (barrier to barrier)
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics for one benchmark run."""
+
+    benchmark: str = ""
+    dataset: str = ""
+    policy: str = ""
+    variant: str = ""
+    num_gpus: int = 0
+
+    execution_time: float = 0.0  # simulated seconds (paper scale)
+    max_compute: float = 0.0
+    min_wait: float = 0.0
+    device_comm: float = 0.0
+    comm_volume_bytes: float = 0.0
+    num_messages: int = 0
+    rounds: int = 0
+    local_rounds_min: int = 0  # BASP: min local rounds across partitions
+    local_rounds_max: int = 0
+    work_items: float = 0.0  # total edge traversals (redundancy metric)
+    replication_factor: float = 0.0
+    memory_max_bytes: float = 0.0
+    memory_mean_bytes: float = 0.0
+
+    per_partition_compute: np.ndarray = field(
+        default_factory=lambda: np.zeros(0)
+    )
+    per_partition_wait: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    per_partition_device_comm: np.ndarray = field(
+        default_factory=lambda: np.zeros(0)
+    )
+
+    @property
+    def comm_volume_gb(self) -> float:
+        return self.comm_volume_bytes / GIB
+
+    @property
+    def memory_max_gb(self) -> float:
+        return self.memory_max_bytes / GIB
+
+    @property
+    def dynamic_balance(self) -> float:
+        """max/mean compute time across GPUs — Table IV "Dynamic"."""
+        c = self.per_partition_compute
+        if len(c) == 0 or c.mean() <= 0:
+            return 1.0
+        return float(c.max() / c.mean())
+
+    @property
+    def memory_balance(self) -> float:
+        """max/mean memory across GPUs — Table IV "Memory"."""
+        if self.memory_mean_bytes <= 0:
+            return 1.0
+        return self.memory_max_bytes / self.memory_mean_bytes
+
+    def accumulate_round(self, rec: RoundRecord) -> None:
+        """Fold one round's record into the aggregates."""
+        P = len(rec.compute_times)
+        if len(self.per_partition_compute) == 0:
+            self.per_partition_compute = np.zeros(P)
+            self.per_partition_wait = np.zeros(P)
+            self.per_partition_device_comm = np.zeros(P)
+        self.per_partition_compute += rec.compute_times
+        self.per_partition_wait += rec.wait_times
+        self.per_partition_device_comm += rec.device_comm_times
+        self.rounds += 1
+        self.num_messages += rec.messages
+        self.comm_volume_bytes += rec.comm_bytes
+        self.work_items += rec.edges_processed
+        self.execution_time += rec.duration
+
+    def finalize_breakdown(self) -> None:
+        """Derive the paper's three buckets from per-partition sums.
+
+        Device Comm. is defined as the residual (execution time minus max
+        compute minus min wait), exactly the paper's methodology.
+        """
+        if len(self.per_partition_compute):
+            self.max_compute = float(self.per_partition_compute.max())
+            self.min_wait = float(self.per_partition_wait.min())
+        self.device_comm = max(
+            self.execution_time - self.max_compute - self.min_wait, 0.0
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.benchmark}/{self.dataset} {self.policy}/{self.variant} "
+            f"x{self.num_gpus}: {self.execution_time:.3f}s "
+            f"(compute {self.max_compute:.3f}, wait {self.min_wait:.3f}, "
+            f"devcomm {self.device_comm:.3f}) "
+            f"{self.comm_volume_gb:.1f}GB, {self.rounds} rounds"
+        )

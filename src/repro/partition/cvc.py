@@ -1,0 +1,54 @@
+"""Cartesian vertex-cut (CVC) — the policy the study crowns (Section V-C).
+
+CVC is a 2D cut of the adjacency matrix (paper Figure 2).  The P partitions
+form a ``pr x pc`` grid.  Vertices are split into P contiguous blocks
+balanced by out-degree; block ``b``'s masters live on partition ``b``.  Edge
+``(u, v)`` is placed at the grid cell
+
+    (grid row of owner(u),  grid column of owner(v))
+
+which yields the two structural invariants the communication optimizer
+exploits:
+
+* every proxy of ``u`` **with outgoing edges** sits in the same grid *row*
+  as ``u``'s master → broadcast only along the row (``pc - 1`` partners);
+* every proxy of ``v`` **with incoming edges** sits in the same grid
+  *column* as ``v``'s master → reduce only along the column (``pr - 1``
+  partners).
+
+Total communication partners drop from ``O(P)`` to ``O(pr + pc)`` — the
+reason CVC wins at 16+ GPUs even though it often ships *more* bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import PartitionedGraph, build_partitions
+from repro.partition.edgecut import blocked_owner_from_degrees
+from repro.utils import grid_shape
+
+__all__ = ["cvc"]
+
+
+def cvc(
+    graph: CSRGraph,
+    num_partitions: int,
+    grid: tuple[int, int] | None = None,
+) -> PartitionedGraph:
+    """Cartesian vertex-cut over a ``pr x pc`` grid (auto-shaped by default)."""
+    if grid is None:
+        grid = grid_shape(num_partitions)
+    pr, pc = grid
+    if pr * pc != num_partitions:
+        raise ValueError(f"grid {grid} does not tile {num_partitions} partitions")
+
+    owner = blocked_owner_from_degrees(graph.out_degrees(), num_partitions)
+    src_owner = owner[graph.edge_sources()]
+    dst_owner = owner[graph.indices]
+    # partition p sits at grid (p // pc, p % pc)
+    edge_owner = ((src_owner // pc) * pc + (dst_owner % pc)).astype(np.int32)
+    return build_partitions(
+        graph, owner, edge_owner, num_partitions, policy="cvc", grid=grid
+    )

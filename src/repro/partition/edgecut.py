@@ -1,0 +1,56 @@
+"""Edge-balanced edge-cut policies: OEC and IEC (Section III-C).
+
+An *outgoing* edge-cut (OEC) assigns **all outgoing edges** of a vertex to
+that vertex's master partition; an *incoming* edge-cut (IEC) does the same
+for incoming edges.  "Edge-balanced" means the vertex-to-partition assignment
+is chosen to equalize the number of edges (not vertices) per partition: we
+sort nothing — vertices stay in ID order and a prefix-sum split over degrees
+places the boundaries (this is what both Lux's built-in partitioner and
+CuSP's balanced edge-cut do, and why D-IrGL could reuse Lux's partitions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import PartitionedGraph, build_partitions
+from repro.utils import balanced_prefix_split
+
+__all__ = ["oec", "iec", "blocked_owner_from_degrees"]
+
+
+def blocked_owner_from_degrees(degrees: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Contiguous vertex->partition map balancing ``sum(degrees)`` per part."""
+    bounds = balanced_prefix_split(degrees, num_partitions)
+    owner = np.zeros(len(degrees), dtype=np.int32)
+    for p in range(1, num_partitions):
+        owner[bounds[p] : bounds[p + 1]] = p
+    return owner
+
+
+def oec(graph: CSRGraph, num_partitions: int) -> PartitionedGraph:
+    """Outgoing edge-balanced edge-cut.
+
+    Every out-edge lives with its source's master, so mirror proxies never
+    have outgoing edges — the invariant Gluon exploits to skip broadcast for
+    source-read operators (Section III-D1).
+    """
+    owner = blocked_owner_from_degrees(graph.out_degrees(), num_partitions)
+    edge_owner = np.repeat(owner, graph.out_degrees())
+    return build_partitions(
+        graph, owner, edge_owner, num_partitions, policy="oec"
+    )
+
+
+def iec(graph: CSRGraph, num_partitions: int) -> PartitionedGraph:
+    """Incoming edge-balanced edge-cut (the only policy Lux supports).
+
+    Every in-edge lives with its destination's master, so mirror proxies
+    never have incoming edges — destination-write operators need no reduce.
+    """
+    owner = blocked_owner_from_degrees(graph.in_degrees(), num_partitions)
+    edge_owner = owner[graph.indices]
+    return build_partitions(
+        graph, owner, edge_owner, num_partitions, policy="iec"
+    )

@@ -1,0 +1,99 @@
+"""Partition serialization — partition once, load many times.
+
+The paper (Section IV, footnote 2): "graphs can be partitioned once, and
+in-memory representations of the partitions can be written to disk.
+Applications can then load these partitions directly."  This module is
+that workflow: :func:`save_partitions` writes a :class:`PartitionedGraph`
+(including the memoized exchange orders) to one ``.npz``;
+:func:`load_partitions` restores it against the original graph without
+re-running the partitioner.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import GraphFormatError, PartitioningError
+from repro.graph.csr import CSRGraph
+from repro.partition.base import LocalPartition, PartitionedGraph
+
+__all__ = ["save_partitions", "load_partitions"]
+
+_MAGIC = "repro-partitions-v1"
+
+
+def save_partitions(pg: PartitionedGraph, path: str | os.PathLike) -> None:
+    """Write every partition's structure to a compressed ``.npz``."""
+    payload: dict = {
+        "magic": np.array(_MAGIC),
+        "policy": np.array(pg.policy),
+        "num_partitions": np.array(pg.num_partitions),
+        "vertex_owner": pg.vertex_owner,
+        "grid": np.array(pg.grid if pg.grid else (0, 0)),
+        "graph_vertices": np.array(pg.global_graph.num_vertices),
+        "graph_edges": np.array(pg.global_graph.num_edges),
+    }
+    for p in pg.parts:
+        key = f"p{p.pid}_"
+        payload[key + "indptr"] = p.graph.indptr
+        payload[key + "indices"] = p.graph.indices
+        if p.graph.has_weights:
+            payload[key + "weights"] = p.graph.weights
+        payload[key + "l2g"] = p.local_to_global
+        payload[key + "is_master"] = p.is_master
+        for q, idx in p.mirror_exchange.items():
+            payload[f"{key}mx_{q}"] = idx
+        for q, idx in p.master_exchange.items():
+            payload[f"{key}sx_{q}"] = idx
+    np.savez_compressed(path, **payload)
+
+
+def load_partitions(
+    path: str | os.PathLike, graph: CSRGraph
+) -> PartitionedGraph:
+    """Restore a partitioning against the graph it was computed from."""
+    with np.load(path, allow_pickle=False) as z:
+        if "magic" not in z or str(z["magic"]) != _MAGIC:
+            raise GraphFormatError(f"{path} is not a repro partition file")
+        if int(z["graph_vertices"]) != graph.num_vertices or int(
+            z["graph_edges"]
+        ) != graph.num_edges:
+            raise PartitioningError(
+                "partition file does not match the supplied graph"
+            )
+        P = int(z["num_partitions"])
+        n = graph.num_vertices
+        parts = []
+        for pid in range(P):
+            key = f"p{pid}_"
+            weights = z[key + "weights"] if key + "weights" in z else None
+            local = CSRGraph(
+                z[key + "indptr"], z[key + "indices"], weights,
+                name=f"{graph.name}/p{pid}",
+            )
+            l2g = z[key + "l2g"]
+            g2l = np.full(n, -1, dtype=np.int32)
+            g2l[l2g] = np.arange(len(l2g), dtype=np.int32)
+            part = LocalPartition(
+                pid=pid,
+                graph=local,
+                local_to_global=l2g,
+                global_to_local=g2l,
+                is_master=z[key + "is_master"],
+            )
+            for name in z.files:
+                if name.startswith(key + "mx_"):
+                    part.mirror_exchange[int(name.rsplit("_", 1)[1])] = z[name]
+                elif name.startswith(key + "sx_"):
+                    part.master_exchange[int(name.rsplit("_", 1)[1])] = z[name]
+            parts.append(part)
+        grid = tuple(int(x) for x in z["grid"])
+        return PartitionedGraph(
+            policy=str(z["policy"]),
+            global_graph=graph,
+            vertex_owner=z["vertex_owner"],
+            parts=parts,
+            grid=grid if grid != (0, 0) else None,
+        )

@@ -1,0 +1,35 @@
+"""Random vertex partitioning — Gunrock's default (Section IV-B).
+
+Vertices are assigned to partitions uniformly at random; each vertex's
+out-edges follow it (an edge-cut over a random vertex assignment).  Random
+placement destroys locality, so replication (and thus communication) is
+high, but the expected static balance is good — which is exactly the
+trade-off Gunrock documents and recommends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import PartitionedGraph, build_partitions
+from repro.utils import rng_from_seed
+
+__all__ = ["random_vertex_cut"]
+
+
+def random_vertex_cut(
+    graph: CSRGraph, num_partitions: int, seed: int | None = 0
+) -> PartitionedGraph:
+    """Uniform random vertex assignment; out-edges at the source's master."""
+    rng = rng_from_seed(seed)
+    owner = rng.integers(0, num_partitions, size=graph.num_vertices, dtype=np.int32)
+    # Guarantee every partition owns at least one vertex when possible, so
+    # downstream per-partition label arrays are never empty.
+    if graph.num_vertices >= num_partitions:
+        first = rng.permutation(graph.num_vertices)[:num_partitions]
+        owner[first] = np.arange(num_partitions, dtype=np.int32)
+    edge_owner = owner[graph.edge_sources()]
+    return build_partitions(
+        graph, owner, edge_owner, num_partitions, policy="random"
+    )

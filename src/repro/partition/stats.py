@@ -1,0 +1,71 @@
+"""Partition quality statistics — the inputs to Table IV and Section V-C.
+
+* **static load balance** — max/mean edges per partition (the paper's
+  "Static" column); the quantity that, at paper scale, decides whether the
+  graph fits in GPU memory at all;
+* **replication factor** — average proxies per vertex, which bounds
+  communication volume;
+* **communication partners** — how many other partitions each partition must
+  exchange with, the quantity CVC's structural invariants shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.base import PartitionedGraph
+
+__all__ = ["PartitionStats", "partition_stats"]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Summary of one partitioning."""
+
+    policy: str
+    num_partitions: int
+    edges_per_partition: tuple[int, ...]
+    vertices_per_partition: tuple[int, ...]
+    mirrors_per_partition: tuple[int, ...]
+    replication_factor: float
+    static_balance: float  # max/mean edges — Table IV "Static"
+    vertex_balance: float
+    mean_comm_partners: float
+    max_comm_partners: int
+
+    def row(self) -> tuple:
+        return (
+            self.policy,
+            self.num_partitions,
+            round(self.replication_factor, 2),
+            round(self.static_balance, 2),
+            round(self.mean_comm_partners, 1),
+        )
+
+
+def partition_stats(pg: PartitionedGraph) -> PartitionStats:
+    """Compute :class:`PartitionStats` for a partitioned graph."""
+    edges = pg.local_edge_counts()
+    verts = pg.local_vertex_counts()
+    mirrors = np.asarray([p.num_mirrors for p in pg.parts], dtype=np.int64)
+
+    partners = []
+    for p in pg.parts:
+        s = set(p.mirror_exchange) | set(p.master_exchange)
+        s.discard(p.pid)
+        partners.append(len(s))
+
+    return PartitionStats(
+        policy=pg.policy,
+        num_partitions=pg.num_partitions,
+        edges_per_partition=tuple(int(e) for e in edges),
+        vertices_per_partition=tuple(int(v) for v in verts),
+        mirrors_per_partition=tuple(int(m) for m in mirrors),
+        replication_factor=pg.replication_factor,
+        static_balance=float(edges.max() / max(edges.mean(), 1e-12)),
+        vertex_balance=float(verts.max() / max(verts.mean(), 1e-12)),
+        mean_comm_partners=float(np.mean(partners)) if partners else 0.0,
+        max_comm_partners=int(max(partners)) if partners else 0,
+    )

@@ -1,0 +1,75 @@
+"""XtraPulp-style label-propagation edge-cut (Slota et al., IPDPS'17).
+
+The paper's Section III-C names XtraPulp as the exemplar of "more complex
+edge-cuts [that] assign vertices based on neighborhood locality and load
+balance".  This stand-in runs the same two-objective scheme:
+
+1. seed each vertex with a balanced block label;
+2. several label-propagation sweeps move each vertex toward the label most
+   common among its (undirected) neighbors — improving locality/cut;
+3. each sweep enforces the balance constraint by refusing moves into
+   overweight parts (weight = out-degree, i.e. edge balance).
+
+The result is an edge-cut (a vertex's out-edges follow its label) with a
+lower replication factor than blocked IEC/OEC on locality-rich graphs at a
+small balance cost — the trade XtraPulp makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import PartitionedGraph, build_partitions
+from repro.partition.edgecut import blocked_owner_from_degrees
+
+__all__ = ["xtrapulp_like"]
+
+
+def xtrapulp_like(
+    graph: CSRGraph,
+    num_partitions: int,
+    sweeps: int = 3,
+    imbalance: float = 1.10,
+) -> PartitionedGraph:
+    """Label-propagation edge-cut with an edge-balance constraint."""
+    n = graph.num_vertices
+    weights = np.maximum(graph.out_degrees().astype(np.float64), 1.0)
+    target = weights.sum() / num_partitions * imbalance
+
+    labels = blocked_owner_from_degrees(graph.out_degrees(), num_partitions)
+    labels = labels.astype(np.int64)
+    loads = np.bincount(labels, weights=weights, minlength=num_partitions)
+
+    src = graph.edge_sources().astype(np.int64)
+    dst = graph.indices.astype(np.int64)
+    # undirected neighbor pairs for the propagation step
+    a = np.concatenate([src, dst])
+    b = np.concatenate([dst, src])
+
+    for _ in range(max(sweeps, 0)):
+        # histogram of neighbor labels per (vertex, label) pair
+        pair = a * num_partitions + labels[b]
+        counts = np.bincount(pair, minlength=n * num_partitions)
+        counts = counts.reshape(n, num_partitions)
+        best = np.argmax(counts, axis=1).astype(np.int64)
+        gain = counts[np.arange(n), best] > counts[np.arange(n), labels]
+        movers = np.flatnonzero(gain & (best != labels))
+        # apply moves greedily in descending gain, respecting balance
+        order = movers[
+            np.argsort(
+                -(counts[movers, best[movers]] - counts[movers, labels[movers]])
+            )
+        ]
+        for v in order.tolist():
+            tgt = best[v]
+            w = weights[v]
+            if loads[tgt] + w <= target:
+                loads[labels[v]] -= w
+                loads[tgt] += w
+                labels[v] = tgt
+    owner = labels.astype(np.int32)
+    edge_owner = owner[src]
+    return build_partitions(
+        graph, owner, edge_owner, num_partitions, policy="xtrapulp-like"
+    )

@@ -1,0 +1,128 @@
+"""Regenerating the paper's *in-text* analysis numbers.
+
+Beyond tables and figures, Section V quotes derived quantities in prose:
+the average message size falling from ~2 MB to ~0.2 MB when switching AS to
+UO on uk07/sssp, the minimum local round count rising from 1000 to 2141
+under async bfs/uk14, and the per-policy replication/partner structure
+behind CVC's win.  These helpers measure the same quantities on the
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.generators.datasets import Dataset
+from repro.partition import partition, partition_stats
+from repro.study.report import format_table
+from repro.study.variants import make_variant
+
+__all__ = [
+    "MessageSizeReduction",
+    "message_size_reduction",
+    "AsyncInflation",
+    "async_work_inflation",
+    "replication_table",
+]
+
+
+@dataclass(frozen=True)
+class MessageSizeReduction:
+    """Average wire message size under AS vs UO (Section V-B3's numbers)."""
+
+    benchmark: str
+    dataset: str
+    num_gpus: int
+    as_avg_bytes: float
+    uo_avg_bytes: float
+    as_time: float
+    uo_time: float
+
+    @property
+    def reduction(self) -> float:
+        return self.as_avg_bytes / max(self.uo_avg_bytes, 1.0)
+
+
+def message_size_reduction(
+    benchmark: str, dataset: Dataset, num_gpus: int = 32
+) -> MessageSizeReduction:
+    """Measure the AS->UO average-message-size drop for one workload."""
+    results = {}
+    for name in ("var2", "var3"):
+        res = make_variant(name).run(
+            benchmark, dataset, num_gpus, check_memory=False
+        )
+        results[name] = res.stats
+    a, u = results["var2"], results["var3"]
+    return MessageSizeReduction(
+        benchmark=benchmark,
+        dataset=dataset.name,
+        num_gpus=num_gpus,
+        as_avg_bytes=a.comm_volume_bytes / max(a.num_messages, 1),
+        uo_avg_bytes=u.comm_volume_bytes / max(u.num_messages, 1),
+        as_time=a.execution_time,
+        uo_time=u.execution_time,
+    )
+
+
+@dataclass(frozen=True)
+class AsyncInflation:
+    """Sync-vs-async round and work-item inflation (Section V-B4)."""
+
+    benchmark: str
+    dataset: str
+    num_gpus: int
+    sync_rounds: int
+    async_min_rounds: int
+    async_max_rounds: int
+    sync_work: float
+    async_work: float
+
+    @property
+    def work_inflation(self) -> float:
+        return self.async_work / max(self.sync_work, 1.0)
+
+
+def async_work_inflation(
+    benchmark: str, dataset: Dataset, num_gpus: int = 64
+) -> AsyncInflation:
+    """Measure the redundant work bulk-asynchronous execution performs."""
+    sync = make_variant("var3").run(
+        benchmark, dataset, num_gpus, check_memory=False
+    )
+    asy = make_variant("var4").run(
+        benchmark, dataset, num_gpus, check_memory=False
+    )
+    return AsyncInflation(
+        benchmark=benchmark,
+        dataset=dataset.name,
+        num_gpus=num_gpus,
+        sync_rounds=sync.stats.rounds,
+        async_min_rounds=asy.stats.local_rounds_min,
+        async_max_rounds=asy.stats.local_rounds_max,
+        sync_work=sync.stats.work_items,
+        async_work=asy.stats.work_items,
+    )
+
+
+def replication_table(dataset: Dataset, num_gpus: int = 32) -> tuple[list, str]:
+    """Per-policy replication factor / partner structure / static balance —
+    the structural facts behind the Section V-C discussion."""
+    rows = []
+    for pol in ("cvc", "hvc", "iec", "oec"):
+        s = partition_stats(partition(dataset.graph, pol, num_gpus))
+        rows.append([
+            pol.upper(),
+            round(s.replication_factor, 2),
+            round(s.mean_comm_partners, 1),
+            s.max_comm_partners,
+            round(s.static_balance, 3),
+            round(s.vertex_balance, 3),
+        ])
+    text = format_table(
+        ["policy", "replication", "mean partners", "max partners",
+         "static balance", "vertex balance"],
+        rows,
+        title=f"Partition structure: {dataset.name} at {num_gpus} partitions",
+    )
+    return rows, text

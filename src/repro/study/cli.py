@@ -1,0 +1,137 @@
+"""Command-line entry point: ``repro-study <experiment> [--quick]``.
+
+``repro-study list`` shows every reproducible table/figure;
+``repro-study all`` runs them in order (hours at full fidelity; use
+``--quick`` for a reduced sweep).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.study import figures, tables
+
+__all__ = ["main"]
+
+
+def _analysis(quick: bool):
+    """The in-text narrative numbers (Section V's quoted quantities)."""
+    from repro.generators import load_dataset
+    from repro.study.analysis import (
+        async_work_inflation,
+        message_size_reduction,
+        replication_table,
+    )
+
+    uk07 = load_dataset("uk07-s")
+    msr = message_size_reduction("sssp", uk07, num_gpus=16 if quick else 32)
+    lines = [
+        "In-text analysis numbers",
+        f"  sssp/{msr.dataset}@{msr.num_gpus}: avg message "
+        f"{msr.as_avg_bytes / 1e6:.2f} MB (AS) -> "
+        f"{msr.uo_avg_bytes / 1e6:.2f} MB (UO), {msr.reduction:.1f}x",
+    ]
+    if not quick:
+        uk14 = load_dataset("uk14-s")
+        infl = async_work_inflation("bfs", uk14, num_gpus=64)
+        lines.append(
+            f"  bfs/{infl.dataset}@{infl.num_gpus}: rounds "
+            f"{infl.sync_rounds} (sync) -> {infl.async_min_rounds}-"
+            f"{infl.async_max_rounds} (async), work x{infl.work_inflation:.2f}"
+        )
+    _, table = replication_table(uk07, num_gpus=16 if quick else 32)
+    lines.append("")
+    lines.append(table)
+    return None, "\n".join(lines)
+
+
+def _microbench(quick: bool):
+    from repro.study.microbench import uo_threshold_curve
+    from repro.study.report import format_table
+
+    pts = uo_threshold_curve(list_len=50_000 if quick else 200_000,
+                             volume_scale=500.0)
+    rows = [
+        [f"{p.updated_fraction * 100:.1f}%", round(p.as_seconds * 1e3, 3),
+         round(p.uo_seconds * 1e3, 3), "UO" if p.uo_wins else "AS"]
+        for p in pts
+    ]
+    return None, format_table(
+        ["updated fraction", "AS (ms)", "UO (ms)", "cheaper"],
+        rows, title="UO extraction-threshold microbenchmark",
+    )
+
+_EXPERIMENTS = {
+    "table1": lambda quick: tables.table1(
+        diameter_sweeps=2 if quick else 4
+    ),
+    "table2": lambda quick: tables.table2(
+        gpu_counts=(2, 6) if quick else (1, 2, 4, 6),
+        benchmarks=("bfs", "cc") if quick else ("bfs", "cc", "pr", "sssp"),
+    ),
+    "table3": lambda quick: tables.table3(),
+    "table4": lambda quick: tables.table4(
+        benchmarks=("bfs", "pr") if quick else ("bfs", "cc", "kcore", "pr", "sssp"),
+    ),
+    "fig3": lambda quick: figures.figure3(
+        gpu_counts=(2, 8, 32) if quick else (2, 4, 8, 16, 32, 64),
+        benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+    ),
+    "fig4": lambda quick: figures.figure4(
+        benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+    ),
+    "fig5": lambda quick: figures.figure5(),
+    "fig6": lambda quick: figures.figure6(
+        benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+        systems=("var1", "var2", "var3") if quick
+        else ("var1", "var2", "var3", "var4"),
+    ),
+    "fig7": lambda quick: figures.figure7(
+        gpu_counts=(2, 8, 32) if quick else (2, 4, 8, 16, 32, 64),
+        benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+    ),
+    "fig8": lambda quick: figures.figure8(
+        benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+    ),
+    "fig9": lambda quick: figures.figure9(
+        benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+    ),
+    "analysis": lambda quick: _analysis(quick),
+    "microbench": lambda quick: _microbench(quick),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "list"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced benchmark/GPU-count sweep for a fast look",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        _, text = _EXPERIMENTS[name](args.quick)
+        print(text)
+        print(f"[{name} regenerated in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

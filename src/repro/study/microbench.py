@@ -1,0 +1,101 @@
+"""The Section V-B3 microbenchmark: where does UO stop paying off?
+
+"Sending only the updated values is key to reducing the communication
+volume and time, but there is a threshold below which the overhead of
+extracting the updated values outweighs the benefits of volume reduction.
+This threshold can be determined using microbenchmarking, and existing
+multi-GPU frameworks can benefit from doing this."
+
+:func:`uo_threshold_curve` is that microbenchmark in isolation: for a
+synthetic exchange of ``list_len`` proxies between two GPUs, sweep the
+*updated fraction* and price one AS message against one UO message
+(extraction scan + bitset + reduced payload).  The crossover fraction —
+above which AS is cheaper — is exactly the paper's threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.buffers import Message, MessageHeader
+from repro.comm.router import Router
+from repro.hw.cluster import Cluster, bridges
+
+__all__ = ["MicrobenchPoint", "uo_threshold_curve", "uo_crossover_fraction"]
+
+
+@dataclass(frozen=True)
+class MicrobenchPoint:
+    """One sweep point: cost of syncing one exchange list both ways."""
+
+    updated_fraction: float
+    as_seconds: float
+    uo_seconds: float
+
+    @property
+    def uo_wins(self) -> bool:
+        return self.uo_seconds < self.as_seconds
+
+
+def _one_message(n_values: int, list_len: int, subset: bool, scanned: int):
+    values = np.zeros(max(n_values, 0), dtype=np.uint32)
+    positions = (
+        np.arange(n_values, dtype=np.int64) if subset else None
+    )
+    return Message(
+        header=MessageHeader(0, 2, "reduce", "x"),
+        values=values,
+        positions=positions,
+        exchange_len=list_len,
+        scanned_elements=scanned,
+    )
+
+
+def uo_threshold_curve(
+    list_len: int = 100_000,
+    fractions=(0.001, 0.005, 0.01, 0.05, 0.1, 0.3, 0.6, 1.0),
+    cluster: Cluster | None = None,
+    volume_scale: float = 1.0,
+) -> list[MicrobenchPoint]:
+    """Price AS vs UO for one exchange list across updated fractions."""
+    cluster = cluster or bridges(4)
+    router = Router(cluster, volume_scale=volume_scale)
+    as_msg = _one_message(list_len, list_len, subset=False, scanned=0)
+    as_cost = router.legs(as_msg).total
+    out = []
+    for f in fractions:
+        k = max(int(round(f * list_len)), 1)
+        uo_msg = _one_message(k, list_len, subset=True, scanned=list_len)
+        uo_cost = router.legs(uo_msg).total + router.extraction_time(uo_msg)
+        out.append(
+            MicrobenchPoint(
+                updated_fraction=float(f),
+                as_seconds=as_cost,
+                uo_seconds=uo_cost,
+            )
+        )
+    return out
+
+
+def uo_crossover_fraction(
+    list_len: int = 100_000,
+    cluster: Cluster | None = None,
+    volume_scale: float = 1.0,
+    resolution: int = 200,
+) -> float:
+    """The updated fraction above which AS becomes cheaper than UO.
+
+    Returns 1.0 if UO wins everywhere (large lists where extraction is
+    negligible next to the volume saved) — the regime the paper's
+    friendster/sssp example sits in.
+    """
+    fr = np.linspace(1.0 / resolution, 1.0, resolution)
+    pts = uo_threshold_curve(
+        list_len, fractions=fr, cluster=cluster, volume_scale=volume_scale
+    )
+    for p in pts:
+        if not p.uo_wins:
+            return p.updated_fraction
+    return 1.0

@@ -1,0 +1,57 @@
+"""Plain-text rendering of study results (tables and scaling series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(v) -> str:
+    if v is None:
+        return "—"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render rows as an aligned ASCII table (None -> em-dash, like the
+    paper's missing data points)."""
+    srows = [[_cell(c) for c in r] for r in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in srows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence],
+    title: str = "",
+) -> str:
+    """Render strong-scaling curves as a table: one row per x, one column
+    per series (None = missing point, as in the paper's figures)."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,97 @@
+"""Strong-scaling sweeps (Figures 3 and 7).
+
+A sweep runs one benchmark on one dataset across a range of GPU counts for
+several systems.  Failed configurations — simulated OOM, or features the
+real framework lacks — are recorded as ``None``, which the reporters render
+as missing points exactly like the paper's figures ("The missing points
+... indicate that the benchmarks failed either due to memory limits or
+crashes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
+from repro.frameworks.base import Framework
+from repro.generators.datasets import Dataset
+from repro.metrics.stats import RunStats
+
+__all__ = ["ScalingPoint", "ScalingResult", "strong_scaling"]
+
+DEFAULT_GPU_COUNTS = (2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (system, gpu-count) measurement; ``stats`` is None on failure."""
+
+    system: str
+    num_gpus: int
+    stats: Optional[RunStats]
+    failure: str = ""
+
+    @property
+    def time(self) -> Optional[float]:
+        return self.stats.execution_time if self.stats else None
+
+
+@dataclass
+class ScalingResult:
+    """All points of one benchmark x dataset sweep."""
+
+    benchmark: str
+    dataset: str
+    gpu_counts: tuple[int, ...]
+    points: dict[str, list[ScalingPoint]] = field(default_factory=dict)
+
+    def times(self, system: str) -> list[Optional[float]]:
+        return [p.time for p in self.points[system]]
+
+    def series(self) -> dict[str, list[Optional[float]]]:
+        return {s: self.times(s) for s in self.points}
+
+    def best_system_at(self, num_gpus: int) -> Optional[str]:
+        """Which system is fastest at a given scale (None if all failed)."""
+        i = self.gpu_counts.index(num_gpus)
+        best, best_t = None, None
+        for s, pts in self.points.items():
+            t = pts[i].time
+            if t is not None and (best_t is None or t < best_t):
+                best, best_t = s, t
+        return best
+
+
+def strong_scaling(
+    systems: dict[str, Callable[[], Framework]],
+    benchmark: str,
+    dataset: Dataset,
+    gpu_counts: Sequence[int] = DEFAULT_GPU_COUNTS,
+    platform: str = "bridges",
+    **ctx_overrides,
+) -> ScalingResult:
+    """Sweep ``benchmark`` on ``dataset`` for each system over GPU counts.
+
+    ``systems`` maps a display name to a zero-argument framework factory
+    (a fresh facade per run keeps engines stateless).
+    """
+    result = ScalingResult(
+        benchmark=benchmark, dataset=dataset.name, gpu_counts=tuple(gpu_counts)
+    )
+    for name, factory in systems.items():
+        pts: list[ScalingPoint] = []
+        for n in gpu_counts:
+            try:
+                res = factory().run(
+                    benchmark, dataset, n, platform=platform, **ctx_overrides
+                )
+                pts.append(ScalingPoint(name, n, res.stats))
+            except SimulatedOOMError as e:
+                pts.append(ScalingPoint(name, n, None, failure=f"oom: {e}"))
+            except UnsupportedFeatureError as e:
+                pts.append(ScalingPoint(name, n, None, failure=f"unsupported: {e}"))
+            except ReproError as e:  # crashes of the real systems
+                pts.append(ScalingPoint(name, n, None, failure=str(e)))
+        result.points[name] = pts
+    return result

@@ -1,0 +1,222 @@
+"""Reproductions of the paper's Tables I-IV.
+
+Each ``tableN`` function returns structured rows plus a ready-to-print
+string; the ``bench_tableN`` benchmarks call these and print the output, so
+``pytest benchmarks/ --benchmark-only`` regenerates every table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
+from repro.frameworks import DIrGL, FRAMEWORKS
+from repro.generators.datasets import dataset_names, load_dataset
+from repro.graph.properties import properties
+from repro.partition import partition, partition_stats
+from repro.study.report import format_table
+
+__all__ = ["table1", "table2", "table3", "table4"]
+
+
+# --------------------------------------------------------------------------- #
+# Table I — inputs and their key properties
+# --------------------------------------------------------------------------- #
+def table1(names: Optional[Sequence[str]] = None, diameter_sweeps: int = 4):
+    """Input properties of every stand-in (|V|, |E|, degrees, diameter, GB).
+
+    The size column is at paper scale (via each dataset's scale factor);
+    the structural columns describe the stand-in itself.
+    """
+    names = list(names or dataset_names())
+    rows = []
+    for name in names:
+        ds = load_dataset(name)
+        p = properties(
+            ds.graph,
+            name=name,
+            scale_factor=ds.scale_factor,
+            diameter_sweeps=diameter_sweeps,
+        )
+        rows.append(p.row() + (ds.category,))
+    headers = [
+        "input", "|V|", "|E|", "|E|/|V|", "max Dout", "max Din",
+        "approx diam", "size (GB, paper scale)", "category",
+    ]
+    return rows, format_table(headers, rows, title="Table I: inputs and key properties")
+
+
+# --------------------------------------------------------------------------- #
+# Table II — fastest single-host execution times
+# --------------------------------------------------------------------------- #
+_T2_BENCHMARKS = ("bfs", "cc", "pr", "sssp")
+_T2_GPU_COUNTS = (1, 2, 4, 6)
+
+
+@dataclass(frozen=True)
+class BestRun:
+    """One Table II cell: the best time over GPU counts (and policies)."""
+
+    time: Optional[float]
+    num_gpus: Optional[int]
+    policy: str = ""
+
+    def cell(self) -> Optional[str]:
+        if self.time is None:
+            return None
+        pol = f" ({self.policy.upper()})" if self.policy else ""
+        return f"{self.time:.3f}s @{self.num_gpus}gpu{pol}"
+
+
+def _best_over(fw_factory, benchmark, ds, gpu_counts, platform="tuxedo") -> BestRun:
+    best = BestRun(None, None)
+    for n in gpu_counts:
+        try:
+            fw = fw_factory()
+            res = fw.run(benchmark, ds, n, platform=platform)
+            t = res.stats.execution_time
+            if best.time is None or t < best.time:
+                best = BestRun(t, n, getattr(fw, "policy", ""))
+        except (SimulatedOOMError, UnsupportedFeatureError, ReproError):
+            continue
+    return best
+
+
+def table2(
+    benchmarks: Sequence[str] = _T2_BENCHMARKS,
+    datasets: Optional[Sequence[str]] = None,
+    gpu_counts: Sequence[int] = _T2_GPU_COUNTS,
+):
+    """Fastest execution time of all frameworks on Tuxedo (small graphs).
+
+    D-IrGL searches its four policies (the paper annotates the winning
+    policy per cell); the other frameworks have one fixed policy.
+    """
+    datasets = list(datasets or dataset_names("small"))
+    rows = []
+    cells: dict[tuple[str, str, str], BestRun] = {}
+    for bench in benchmarks:
+        for fw_name in ("gunrock", "groute", "lux", "d-irgl"):
+            row = [bench, fw_name]
+            for ds_name in datasets:
+                ds = load_dataset(ds_name)
+                if fw_name == "d-irgl":
+                    best = BestRun(None, None)
+                    for pol in ("oec", "iec", "hvc", "cvc"):
+                        b = _best_over(
+                            lambda pol=pol: DIrGL(policy=pol),
+                            bench, ds, gpu_counts,
+                        )
+                        if b.time is not None and (
+                            best.time is None or b.time < best.time
+                        ):
+                            best = b
+                else:
+                    best = _best_over(
+                        FRAMEWORKS[fw_name], bench, ds, gpu_counts
+                    )
+                cells[(bench, fw_name, ds_name)] = best
+                row.append(best.cell())
+            rows.append(row)
+    headers = ["benchmark", "framework"] + datasets
+    return (
+        cells,
+        format_table(
+            headers, rows,
+            title="Table II: fastest execution time on Tuxedo (best GPU count)",
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table III — memory usage of cc on 6 GPUs
+# --------------------------------------------------------------------------- #
+def table3(datasets: Optional[Sequence[str]] = None, num_gpus: int = 6):
+    """Maximum GPU memory (paper-scale GB) for cc on Tuxedo's 6 GPUs."""
+    datasets = list(datasets or dataset_names("small"))
+    rows = []
+    cells: dict[tuple[str, str], Optional[float]] = {}
+    for fw_name in ("gunrock", "groute", "lux", "d-irgl"):
+        row = [fw_name]
+        for ds_name in datasets:
+            ds = load_dataset(ds_name)
+            try:
+                res = FRAMEWORKS[fw_name]().run(
+                    "cc", ds, num_gpus, platform="tuxedo", check_memory=False
+                )
+                gb = res.stats.memory_max_gb
+            except (UnsupportedFeatureError, ReproError):
+                gb = None
+            cells[(fw_name, ds_name)] = gb
+            row.append(gb)
+        rows.append(row)
+    headers = ["framework"] + datasets
+    return (
+        cells,
+        format_table(
+            headers, rows,
+            title=f"Table III: max memory (GB) for cc on {num_gpus} GPUs",
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table IV — static / dynamic / memory load balance
+# --------------------------------------------------------------------------- #
+_T4_CONFIGS = (("uk07-s", 32), ("uk14-s", 64))
+_T4_BENCHMARKS = ("bfs", "cc", "kcore", "pr", "sssp")
+_T4_POLICIES = ("cvc", "hvc", "iec", "oec")
+
+
+def table4(
+    configs: Sequence[tuple[str, int]] = _T4_CONFIGS,
+    benchmarks: Sequence[str] = _T4_BENCHMARKS,
+    policies: Sequence[str] = _T4_POLICIES,
+):
+    """Static (edges), dynamic (compute time), and memory balance ratios.
+
+    Static balance comes from the partitioner alone; dynamic and memory
+    balance from a D-IrGL run (no OOM enforcement so imbalanced
+    configurations still report their ratios, as the paper's table does).
+    The run is bulk-synchronous: per-device compute-time ratios are
+    identical in structure under BASP but orders of magnitude cheaper to
+    simulate at 64 partitions.
+    """
+    rows = []
+    cells: dict[tuple, tuple] = {}
+    for bench in benchmarks:
+        for pol in policies:
+            row = [bench, pol.upper()]
+            for ds_name, num_gpus in configs:
+                ds = load_dataset(ds_name)
+                fw = DIrGL(policy=pol, execution="sync")
+                app = fw.resolve_app(bench)
+                graph = ds.symmetric() if app.needs_symmetric else ds.graph
+                pstats = partition_stats(partition(graph, pol, num_gpus))
+                try:
+                    res = fw.run(bench, ds, num_gpus, check_memory=False)
+                    dyn = res.stats.dynamic_balance
+                    mem = res.stats.memory_balance
+                except ReproError:
+                    dyn = mem = None
+                cells[(bench, pol, ds_name)] = (
+                    pstats.static_balance, dyn, mem,
+                )
+                row += [round(pstats.static_balance, 2),
+                        None if dyn is None else round(dyn, 2),
+                        None if mem is None else round(mem, 2)]
+            rows.append(row)
+    headers = ["benchmark", "policy"]
+    for ds_name, n in configs:
+        headers += [
+            f"{ds_name}@{n} static", f"{ds_name}@{n} dynamic",
+            f"{ds_name}@{n} memory",
+        ]
+    return (
+        cells,
+        format_table(
+            headers, rows,
+            title="Table IV: static/dynamic/memory load balance (max/mean)",
+        ),
+    )

@@ -1,0 +1,44 @@
+"""The study's optimization variants (Section IV-C).
+
+Var1 (TWC+AS+Sync) is the baseline approximating what Lux also provides;
+each subsequent variant flips one optimization on, ending at the D-IrGL
+default Var4 (ALB+UO+Async).  ``lux`` is included so scaling sweeps can put
+all five curves on one plot, as Figure 3 does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.frameworks.base import Framework
+from repro.frameworks.dirgl import DIrGL
+from repro.frameworks.lux import Lux
+
+__all__ = ["VARIANT_NAMES", "make_variant"]
+
+_FACTORIES: dict[str, Callable[[str], Framework]] = {
+    "var1": DIrGL.var1,
+    "var2": DIrGL.var2,
+    "var3": DIrGL.var3,
+    "var4": DIrGL.var4,
+    "lux": lambda policy: Lux(),  # Lux ignores the policy knob (IEC only)
+}
+
+VARIANT_NAMES = ["lux", "var1", "var2", "var3", "var4"]
+
+
+def make_variant(name: str, policy: str = "iec") -> Framework:
+    """Instantiate one of the study's variants over the given policy.
+
+    The optimization study (Section V-B) uses IEC everywhere so Lux and
+    D-IrGL see the same partitions; the partitioning study (Section V-C)
+    passes other policies with the Var4 configuration.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown variant {name!r}; known: {VARIANT_NAMES}"
+        ) from None
+    return factory(policy)

@@ -1,0 +1,19 @@
+"""Reference implementations for validating distributed results."""
+
+from repro.validation.reference import (
+    pagerank_close,
+    reference_bfs,
+    reference_cc,
+    reference_kcore_mask,
+    reference_pagerank,
+    reference_sssp,
+)
+
+__all__ = [
+    "reference_bfs",
+    "reference_cc",
+    "reference_kcore_mask",
+    "reference_pagerank",
+    "reference_sssp",
+    "pagerank_close",
+]

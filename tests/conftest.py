@@ -1,0 +1,32 @@
+"""Shared fixtures: small graphs and run contexts used across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.engine import RunContext
+from repro.generators import rmat
+from repro.graph.transform import add_random_weights, make_undirected
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A weighted directed power-law graph (512 vertices, ~4k edges)."""
+    return add_random_weights(rmat(9, edge_factor=8, seed=3), seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_sym(small_graph):
+    """Its symmetrized counterpart (for cc / kcore)."""
+    return add_random_weights(make_undirected(small_graph), seed=1)
+
+
+@pytest.fixture(scope="session")
+def ctx(small_graph, small_sym):
+    """A run context covering every app's needs on the small graph."""
+    return RunContext(
+        num_global_vertices=small_graph.num_vertices,
+        source=int(np.argmax(small_graph.out_degrees())),
+        k=8,
+        global_out_degrees=small_graph.out_degrees(),
+        global_degrees=small_sym.out_degrees(),
+    )

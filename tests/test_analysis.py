@@ -1,0 +1,56 @@
+"""Tests for the in-text analysis helpers (Section V's narrative numbers)."""
+
+import pytest
+
+from repro.generators import load_dataset
+from repro.study.analysis import (
+    async_work_inflation,
+    message_size_reduction,
+    replication_table,
+)
+
+
+@pytest.fixture(scope="module")
+def uk07():
+    return load_dataset("uk07-s")
+
+
+class TestMessageSizeReduction:
+    def test_uo_shrinks_messages(self, uk07):
+        """The Section V-B3 anecdote: UO cuts the average message size."""
+        r = message_size_reduction("sssp", uk07, num_gpus=32)
+        # the average message shrinks (less than total volume does, since
+        # UO also eliminates whole messages for update-free partners)
+        assert r.reduction > 1.3
+        assert r.uo_avg_bytes < r.as_avg_bytes
+
+    def test_fields_populated(self, uk07):
+        r = message_size_reduction("bfs", uk07, num_gpus=16)
+        assert r.benchmark == "bfs"
+        assert r.num_gpus == 16
+        assert r.as_time > 0 and r.uo_time > 0
+
+
+class TestAsyncInflation:
+    def test_redundant_work_measured(self):
+        """The Section V-B4 anecdote on the long-tail crawl."""
+        uk14 = load_dataset("uk14-s")
+        r = async_work_inflation("bfs", uk14, num_gpus=64)
+        assert r.async_max_rounds > r.sync_rounds
+        assert r.work_inflation > 1.0
+
+    def test_round_ordering(self, uk07):
+        r = async_work_inflation("sssp", uk07, num_gpus=16)
+        assert r.async_min_rounds <= r.async_max_rounds
+
+
+class TestReplicationTable:
+    def test_structure(self, uk07):
+        rows, text = replication_table(uk07, num_gpus=32)
+        assert len(rows) == 4
+        assert "CVC" in text
+        by_policy = {r[0]: r for r in rows}
+        # CVC's partner restriction shows in the structure itself
+        assert by_policy["CVC"][3] < by_policy["HVC"][3]
+        # every policy replicates at least 1x
+        assert all(r[1] >= 1.0 for r in rows)

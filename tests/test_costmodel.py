@@ -1,0 +1,104 @@
+"""Tests for the cost model and message router pricing."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Message, MessageHeader
+from repro.comm.router import Router
+from repro.engine.costmodel import CostModel
+from repro.hw import bridges, tuxedo
+from repro.loadbalance import ALB, TWC
+
+
+def msg(src=0, dst=2, n=1000, scanned=0):
+    return Message(
+        header=MessageHeader(src, dst, "reduce", "dist"),
+        values=np.zeros(n, dtype=np.uint32),
+        scanned_elements=scanned,
+    )
+
+
+class TestCostModel:
+    def test_empty_round_free(self):
+        cm = CostModel(bridges(4), ALB)
+        assert cm.compute_time(0, np.empty(0)) == 0.0
+
+    def test_compute_scales_with_work(self):
+        cm = CostModel(bridges(4), ALB)
+        small = cm.compute_time(0, np.full(100, 10.0))
+        big = cm.compute_time(0, np.full(10000, 10.0))
+        assert big > 3 * small
+
+    def test_scale_factor_inflates(self):
+        c1 = CostModel(bridges(4), ALB, scale_factor=1.0)
+        c2 = CostModel(bridges(4), ALB, scale_factor=100.0)
+        deg = np.full(1000, 20.0)
+        assert c2.compute_time(0, deg) > 20 * c1.compute_time(0, deg)
+
+    def test_twc_pays_for_giant_vertex(self):
+        deg = np.full(1000, 10.0)
+        deg[0] = 1e6
+        twc = CostModel(bridges(4), TWC).compute_time(0, deg)
+        alb = CostModel(bridges(4), ALB).compute_time(0, deg)
+        assert twc > 3 * alb
+
+    def test_heterogeneous_devices_differ(self):
+        cm = CostModel(tuxedo(6), ALB)
+        deg = np.full(5000, 20.0)
+        k80 = cm.compute_time(0, deg)  # K80
+        gtx = cm.compute_time(5, deg)  # GTX1080
+        assert k80 != gtx
+
+    def test_master_time_zero_when_untouched(self):
+        cm = CostModel(bridges(4), ALB)
+        assert cm.master_time(0, 0) == 0.0
+        assert cm.master_time(0, 1000) > 0.0
+
+    def test_allreduce_grows_with_hosts(self):
+        small = CostModel(bridges(2), ALB).allreduce_time()
+        big = CostModel(bridges(64), ALB).allreduce_time()
+        assert big > small
+
+    def test_single_host_allreduce_cheap(self):
+        assert CostModel(tuxedo(4), ALB).allreduce_time() < 1e-5
+
+
+class TestRouter:
+    def test_same_host_skips_network(self):
+        r = Router(bridges(4))
+        same = r.legs(msg(src=0, dst=1))  # GPUs 0,1 share host 0
+        cross = r.legs(msg(src=0, dst=2))
+        assert same.total < cross.total
+
+    def test_loopback_free(self):
+        r = Router(bridges(4))
+        legs = r.legs(msg(src=1, dst=1))
+        assert legs.total == 0.0
+
+    def test_volume_scale_inflates(self):
+        r1 = Router(bridges(4), volume_scale=1.0)
+        r2 = Router(bridges(4), volume_scale=1000.0)
+        assert r2.legs(msg()).total > 10 * r1.legs(msg()).total
+        assert r2.scaled_bytes(msg()) == 1000.0 * r1.scaled_bytes(msg())
+
+    def test_extraction_time_from_scan(self):
+        r = Router(bridges(4))
+        assert r.extraction_time(msg(scanned=0)) == 0.0
+        assert r.extraction_time(msg(scanned=100000)) > 0.0
+
+    def test_route_arrival(self):
+        r = Router(bridges(4))
+        routed = r.route(msg(), depart=5.0)
+        assert routed.arrival == pytest.approx(5.0 + routed.legs.total)
+        assert routed.legs.device_legs == pytest.approx(
+            routed.legs.d2h + routed.legs.h2d
+        )
+
+    def test_serialization_dominates_large_messages(self):
+        """The per-element host cost is the device-comm bottleneck — the
+        model behind the paper's GPUDirect recommendation."""
+        r = Router(bridges(4), volume_scale=1000.0)
+        legs = r.legs(msg(n=100_000))
+        nbytes = r.scaled_bytes(msg(n=100_000))
+        pure_pcie = r.cluster.pcie.time(nbytes)
+        assert legs.d2h > 2 * pure_pcie

@@ -1,0 +1,93 @@
+"""Tests for the Table I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.generators import DATASETS, dataset_names, load_dataset
+
+
+class TestRegistry:
+    def test_nine_paper_inputs(self):
+        assert len(dataset_names()) == 9
+
+    def test_categories(self):
+        assert dataset_names("small") == ["rmat23-s", "orkut-s", "indochina04-s"]
+        assert dataset_names("medium") == ["twitter50-s", "friendster-s", "uk07-s"]
+        assert dataset_names("large") == ["clueweb12-s", "uk14-s", "wdc14-s"]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_test_dataset_hidden_by_default(self):
+        assert "tiny-s" not in dataset_names()
+        assert "tiny-s" in dataset_names(include_test=True)
+
+
+class TestLoad:
+    def test_load_cached(self):
+        a = load_dataset("tiny-s")
+        b = load_dataset("tiny-s")
+        assert a is b
+
+    def test_weighted_by_default(self):
+        ds = load_dataset("tiny-s")
+        assert ds.graph.has_weights
+
+    def test_scale_factor(self):
+        ds = load_dataset("rmat23-s")
+        assert np.isclose(
+            ds.scale_factor, DATASETS["rmat23-s"].paper.num_edges / ds.graph.num_edges
+        )
+        assert ds.scale_factor > 100  # stand-ins are much smaller than paper inputs
+
+    def test_source_vertex_is_max_out_degree(self):
+        ds = load_dataset("tiny-s")
+        deg = ds.graph.out_degrees()
+        assert deg[ds.source_vertex] == deg.max()
+
+    def test_symmetric_cached_and_symmetric(self):
+        ds = load_dataset("tiny-s")
+        sym = ds.symmetric()
+        assert sym is ds.symmetric()
+        assert np.array_equal(sym.out_degrees(), sym.in_degrees())
+
+
+class TestShapeFidelity:
+    """Shape statistics that the study's conclusions depend on."""
+
+    def test_all_stand_ins_generate(self):
+        for name in dataset_names():
+            ds = load_dataset(name)
+            assert ds.graph.num_edges > 0
+
+    def test_average_degree_tracks_paper(self):
+        for name in dataset_names():
+            ds = load_dataset(name)
+            paper = ds.spec.paper
+            paper_avg = paper.num_edges / paper.num_vertices
+            ours = ds.graph.num_edges / ds.graph.num_vertices
+            assert ours == pytest.approx(paper_avg, rel=0.35), name
+
+    def test_webcrawls_have_in_degree_blowup(self):
+        # the trait behind ALB's win on pull pagerank (Section V-B2)
+        for name in ["indochina04-s", "uk07-s", "clueweb12-s", "uk14-s", "wdc14-s"]:
+            g = load_dataset(name).graph
+            assert g.in_degrees().max() > 4 * g.out_degrees().max(), name
+
+    def test_uk14_has_longest_tail(self):
+        from repro.graph.properties import approximate_diameter
+
+        d_uk14 = approximate_diameter(load_dataset("uk14-s").graph, seed=0)
+        d_cw = approximate_diameter(load_dataset("clueweb12-s").graph, seed=0)
+        assert d_uk14 > 2 * d_cw
+
+    def test_twitter_has_extreme_out_hub(self):
+        g = load_dataset("twitter50-s").graph
+        deg = g.out_degrees()
+        assert deg.max() > 50 * deg.mean()
+
+    def test_scale_factors_ordered_by_size(self):
+        small = load_dataset("rmat23-s").scale_factor
+        large = load_dataset("wdc14-s").scale_factor
+        assert large > small

@@ -1,0 +1,113 @@
+"""Tests for the graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.generators import powerlaw_social, rmat, small_world, webcrawl
+from repro.graph.properties import approximate_diameter
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat(8, edge_factor=8, seed=0)
+        assert g.num_vertices == 256
+        assert g.num_edges == 2048
+
+    def test_deterministic(self):
+        a, b = rmat(8, seed=5), rmat(8, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        assert rmat(8, seed=1) != rmat(8, seed=2)
+
+    def test_skewed_degrees(self):
+        g = rmat(12, edge_factor=16, seed=0)
+        deg = g.out_degrees()
+        # power law: max degree far above average
+        assert deg.max() > 10 * deg.mean()
+
+    def test_uniform_quadrants_not_skewed(self):
+        g = rmat(10, edge_factor=16, a=0.25, b=0.25, c=0.25, seed=0)
+        deg = g.out_degrees()
+        assert deg.max() < 6 * max(deg.mean(), 1)
+
+    def test_dedup_reduces_edges(self):
+        g1 = rmat(6, edge_factor=32, seed=0)
+        g2 = rmat(6, edge_factor=32, seed=0, dedup=True)
+        assert g2.num_edges < g1.num_edges
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(5, a=0.6, b=0.3, c=0.3)
+
+
+class TestPowerlawSocial:
+    def test_size_approx(self):
+        g = powerlaw_social(1000, 20.0, seed=0)
+        assert abs(g.num_edges - 20000) < 2000  # self-loop removal only
+
+    def test_no_self_loops(self):
+        g = powerlaw_social(500, 10.0, seed=0)
+        assert not np.any(g.edge_sources() == g.indices)
+
+    def test_hub_injection_raises_max_out_degree(self):
+        base = powerlaw_social(2000, 20.0, seed=3)
+        hubby = powerlaw_social(
+            2000, 20.0, num_hubs=1, hub_degree_fraction=0.2, seed=3
+        )
+        assert hubby.out_degrees().max() > 2 * base.out_degrees().max()
+
+    def test_asymmetry_lowers_in_skew(self):
+        sym = powerlaw_social(3000, 20.0, in_out_symmetry=1.0, seed=4)
+        asym = powerlaw_social(3000, 20.0, in_out_symmetry=0.3, seed=4)
+        assert asym.in_degrees().max() < sym.in_degrees().max()
+
+    def test_deterministic(self):
+        assert powerlaw_social(300, 8.0, seed=9) == powerlaw_social(300, 8.0, seed=9)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            powerlaw_social(1, 4.0)
+
+
+class TestWebcrawl:
+    def test_size_approx(self):
+        g = webcrawl(4000, 25.0, seed=0)
+        assert abs(g.num_edges - 100_000) < 10_000
+
+    def test_in_degree_dwarfs_out_degree(self):
+        g = webcrawl(8000, 30.0, authority_share=0.35, max_out_degree=100, seed=0)
+        assert g.in_degrees().max() > 5 * g.out_degrees().max()
+
+    def test_tail_raises_diameter(self):
+        flat = webcrawl(4000, 20.0, tail_length=0, seed=2)
+        tailed = webcrawl(4000, 20.0, tail_length=200, seed=2)
+        d_flat = approximate_diameter(flat, seed=0)
+        d_tail = approximate_diameter(tailed, seed=0)
+        assert d_tail >= d_flat + 150
+
+    def test_deterministic(self):
+        assert webcrawl(1000, 10.0, seed=5) == webcrawl(1000, 10.0, seed=5)
+
+    def test_tail_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            webcrawl(100, 5.0, tail_length=100)
+
+    def test_no_self_loops_in_core(self):
+        g = webcrawl(2000, 15.0, tail_length=0, seed=1)
+        assert not np.any(g.edge_sources() == g.indices)
+
+
+class TestSmallWorld:
+    def test_ring_degrees(self):
+        g = small_world(100, k=4, rewire_p=0.0, seed=0)
+        assert np.all(g.out_degrees() == 4)
+
+    def test_rewiring_shortens_diameter(self):
+        ring = small_world(400, k=2, rewire_p=0.0, seed=0)
+        sw = small_world(400, k=2, rewire_p=0.2, seed=0)
+        assert approximate_diameter(sw, seed=0) < approximate_diameter(ring, seed=0)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            small_world(10, k=10)

@@ -1,0 +1,98 @@
+"""End-to-end property tests: on *arbitrary* random graphs, the distributed
+engines must match the single-machine references for every policy and both
+execution models.  This is the strongest correctness statement in the suite
+— partitioning, proxy sync, invariant filtering, and async scheduling
+compose to exact answers on graphs hypothesis dreams up.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import get_app
+from repro.engine import BASPEngine, BSPEngine, RunContext
+from repro.graph import from_edges
+from repro.graph.transform import add_random_weights, make_undirected
+from repro.hw import uniform_cluster
+from repro.partition import POLICIES, partition
+from repro.validation import reference_bfs, reference_cc, reference_sssp
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_policy_parts(draw):
+    n = draw(st.integers(min_value=4, max_value=80))
+    m = draw(st.integers(min_value=n, max_value=6 * n))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    g = add_random_weights(from_edges(src, dst, num_vertices=n), seed=1)
+    policy = draw(st.sampled_from(sorted(POLICIES)))
+    parts = draw(st.sampled_from([2, 3, 4, 8]))
+    return g, policy, parts
+
+
+def ctx_for(g):
+    return RunContext(
+        num_global_vertices=g.num_vertices,
+        source=int(np.argmax(g.out_degrees())),
+        global_out_degrees=g.out_degrees(),
+    )
+
+
+@given(gpp=graph_policy_parts(), engine=st.sampled_from(["bsp", "basp"]))
+@SETTINGS
+def test_bfs_matches_reference_everywhere(gpp, engine):
+    g, policy, parts = gpp
+    pg = partition(g, policy, parts, cache=False)
+    cls = BSPEngine if engine == "bsp" else BASPEngine
+    eng = cls(pg, uniform_cluster(parts), get_app("bfs"), check_memory=False)
+    res = eng.run(ctx_for(g))
+    ref = reference_bfs(g, int(np.argmax(g.out_degrees())))
+    assert np.array_equal(res.labels, ref)
+
+
+@given(gpp=graph_policy_parts())
+@SETTINGS
+def test_sssp_matches_reference_everywhere(gpp):
+    g, policy, parts = gpp
+    pg = partition(g, policy, parts, cache=False)
+    eng = BSPEngine(
+        pg, uniform_cluster(parts), get_app("sssp"), check_memory=False
+    )
+    res = eng.run(ctx_for(g))
+    ref = reference_sssp(g, int(np.argmax(g.out_degrees())))
+    assert np.array_equal(res.labels, ref)
+
+
+@given(gpp=graph_policy_parts(), engine=st.sampled_from(["bsp", "basp"]))
+@SETTINGS
+def test_cc_matches_reference_everywhere(gpp, engine):
+    g, policy, parts = gpp
+    sym = make_undirected(g)
+    pg = partition(sym, policy, parts, cache=False)
+    cls = BSPEngine if engine == "bsp" else BASPEngine
+    eng = cls(pg, uniform_cluster(parts), get_app("cc"), check_memory=False)
+    res = eng.run(ctx_for(sym))
+    assert np.array_equal(res.labels, reference_cc(sym))
+
+
+@given(
+    gpp=graph_policy_parts(),
+    throttle=st.sampled_from([0.0, 1e-3, 1e-2]),
+)
+@SETTINGS
+def test_throttled_async_still_exact(gpp, throttle):
+    """The async throttle changes scheduling, never answers."""
+    g, policy, parts = gpp
+    pg = partition(g, policy, parts, cache=False)
+    eng = BASPEngine(
+        pg, uniform_cluster(parts), get_app("bfs"),
+        check_memory=False, throttle_wait=throttle,
+    )
+    res = eng.run(ctx_for(g))
+    ref = reference_bfs(g, int(np.argmax(g.out_degrees())))
+    assert np.array_equal(res.labels, ref)

@@ -1,0 +1,130 @@
+"""Tests for the TWC/ALB/LB/TB load-balancer cost models.
+
+The key behavioral contracts come straight from Section V-B2:
+* all schemes are equivalent on low-degree frontiers;
+* a single huge-degree vertex cripples TWC and TB (stuck in one block) but
+  not ALB or LB (spread across blocks);
+* ALB is never much worse than TWC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadbalance import ALB, GunrockLB, LuxTB, TWC, get_balancer
+from repro.loadbalance.base import cyclic_block_loads
+
+BLOCKS = 224  # P100: 56 SMs x 4 blocks
+
+ALL = [TWC, ALB, GunrockLB, LuxTB]
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_balancer("twc") is TWC
+        assert get_balancer("alb") is ALB
+        assert get_balancer("lb") is GunrockLB
+        assert get_balancer("tb") is LuxTB
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_balancer("magic")
+
+
+class TestBasics:
+    @pytest.mark.parametrize("bal", ALL, ids=lambda b: b.name)
+    def test_empty_frontier_cheap(self, bal):
+        c = bal.cost(np.empty(0), BLOCKS)
+        assert c.total_work == 0.0
+        assert c.effective_work <= bal.fixed_round_units + 1e-9
+
+    @pytest.mark.parametrize("bal", ALL, ids=lambda b: b.name)
+    def test_effective_at_least_total(self, bal):
+        deg = np.random.default_rng(0).integers(1, 50, size=1000)
+        c = bal.cost(deg, BLOCKS)
+        assert c.effective_work >= c.total_work
+
+    @pytest.mark.parametrize("bal", ALL, ids=lambda b: b.name)
+    def test_monotone_in_work(self, bal):
+        deg = np.full(1000, 10.0)
+        small = bal.cost(deg, BLOCKS).effective_work
+        big = bal.cost(deg * 10, BLOCKS).effective_work
+        assert big > small
+
+    def test_cyclic_loads_conserve_work(self):
+        w = np.arange(100, dtype=float)
+        loads = cyclic_block_loads(w, 7)
+        assert loads.sum() == pytest.approx(w.sum())
+
+
+class TestUniformFrontier:
+    """On a uniform low-degree frontier all schemes are near-equal."""
+
+    def test_all_schemes_within_40pct(self):
+        deg = np.full(50_000, 16.0)
+        costs = {b.name: b.cost(deg, BLOCKS).effective_work for b in ALL}
+        lo, hi = min(costs.values()), max(costs.values())
+        assert hi / lo < 1.4, costs
+
+    def test_imbalance_near_one(self):
+        deg = np.full(50_000, 16.0)
+        for b in ALL:
+            assert b.cost(deg, BLOCKS).imbalance < 1.4
+
+
+class TestGiantVertex:
+    """One vertex with in-degree >> everything (the clueweb12 pull case)."""
+
+    @staticmethod
+    def frontier():
+        deg = np.full(20_000, 10.0)
+        deg[7] = 2_000_000.0  # the authority page
+        return deg
+
+    def test_twc_cripples(self):
+        c = TWC.cost(self.frontier(), BLOCKS)
+        assert c.imbalance > 20  # giant stuck in one block
+
+    def test_tb_cripples(self):
+        c = LuxTB.cost(self.frontier(), BLOCKS)
+        assert c.imbalance > 20
+
+    def test_alb_handles(self):
+        c = ALB.cost(self.frontier(), BLOCKS)
+        assert c.imbalance < 2.0
+
+    def test_lb_handles(self):
+        c = GunrockLB.cost(self.frontier(), BLOCKS)
+        assert c.imbalance < 1.5
+
+    def test_alb_beats_twc_by_far(self):
+        deg = self.frontier()
+        assert (
+            ALB.cost(deg, BLOCKS).effective_work
+            < 0.2 * TWC.cost(deg, BLOCKS).effective_work
+        )
+
+
+class TestPaperOrderings:
+    def test_alb_close_to_twc_on_push_like_frontier(self):
+        """Push frontiers (bounded out-degree) show no ALB advantage."""
+        rng = np.random.default_rng(1)
+        deg = rng.integers(1, 300, size=30_000).astype(float)
+        a = ALB.cost(deg, BLOCKS).effective_work
+        t = TWC.cost(deg, BLOCKS).effective_work
+        assert a == pytest.approx(t, rel=0.25)
+
+    def test_tb_worst_on_tiny_degrees(self):
+        """Lux wastes block lanes on degree-1 vertices."""
+        deg = np.ones(100_000)
+        assert (
+            LuxTB.cost(deg, BLOCKS).effective_work
+            > 1.5 * TWC.cost(deg, BLOCKS).effective_work
+        )
+
+    def test_lb_overhead_visible_on_uniform(self):
+        deg = np.full(100_000, 16.0)
+        assert (
+            GunrockLB.cost(deg, BLOCKS).effective_work
+            > TWC.cost(deg, BLOCKS).effective_work
+        )

@@ -1,0 +1,58 @@
+"""Tests for the UO-threshold microbenchmark (Section V-B3)."""
+
+import pytest
+
+from repro.hw import bridges
+from repro.study.microbench import (
+    uo_crossover_fraction,
+    uo_threshold_curve,
+)
+
+
+class TestCurve:
+    def test_uo_wins_at_sparse_updates(self):
+        pts = uo_threshold_curve(list_len=100_000, volume_scale=100.0)
+        assert pts[0].uo_wins  # 0.1% updated
+
+    def test_uo_loses_or_ties_at_full_updates(self):
+        pts = uo_threshold_curve(list_len=100_000, volume_scale=100.0)
+        full = pts[-1]
+        assert full.updated_fraction == 1.0
+        # sending everything + a bitset + a scan cannot beat plain AS
+        assert full.uo_seconds >= full.as_seconds
+
+    def test_monotone_uo_cost(self):
+        pts = uo_threshold_curve(list_len=50_000, volume_scale=10.0)
+        costs = [p.uo_seconds for p in pts]
+        assert costs == sorted(costs)
+
+    def test_as_cost_constant(self):
+        pts = uo_threshold_curve(list_len=50_000, volume_scale=10.0)
+        assert len({round(p.as_seconds, 12) for p in pts}) == 1
+
+
+class TestCrossover:
+    def test_crossover_in_unit_interval(self):
+        x = uo_crossover_fraction(list_len=100_000, volume_scale=100.0)
+        assert 0.0 < x <= 1.0
+
+    def test_larger_lists_raise_crossover(self):
+        """Bigger messages amortize the extraction scan: UO stays
+        profitable to higher update densities (the paper's friendster vs
+        uk07 contrast)."""
+        small = uo_crossover_fraction(list_len=2_000, volume_scale=100.0)
+        big = uo_crossover_fraction(list_len=500_000, volume_scale=100.0)
+        assert big >= small
+
+    def test_same_host_cheaper_transport_lowers_crossover(self):
+        # when transport is nearly free, extraction overhead dominates
+        # sooner, so the crossover comes earlier on a faster fabric
+        from repro.hw import dgx2
+
+        slow = uo_crossover_fraction(
+            list_len=100_000, cluster=bridges(4), volume_scale=100.0
+        )
+        fast = uo_crossover_fraction(
+            list_len=100_000, cluster=dgx2(4), volume_scale=100.0
+        )
+        assert fast <= slow

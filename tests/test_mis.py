@@ -1,0 +1,114 @@
+"""Tests for the maximal-independent-set extension benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app, verify_mis
+from repro.apps.mis import IN_SET, OUT_SET, UNDECIDED
+from repro.engine import BSPEngine, RunContext
+from repro.errors import ConfigurationError
+from repro.generators import rmat
+from repro.graph import from_edges
+from repro.graph.transform import make_undirected
+from repro.hw import bridges
+from repro.partition import partition
+
+
+@pytest.fixture(scope="module")
+def sym():
+    return make_undirected(rmat(9, edge_factor=6, seed=5))
+
+
+@pytest.fixture(scope="module")
+def mis_ctx(sym):
+    return RunContext(
+        num_global_vertices=sym.num_vertices,
+        global_out_degrees=sym.out_degrees(),
+        global_degrees=sym.out_degrees(),
+    )
+
+
+def run_mis(graph, ctx, policy, parts=8):
+    pg = partition(graph, policy, parts)
+    return BSPEngine(
+        pg, bridges(parts), get_app("mis"), check_memory=False
+    ).run(ctx)
+
+
+class TestMIS:
+    @pytest.mark.parametrize("policy", ["oec", "iec", "hvc", "cvc", "jagged"])
+    def test_valid_mis_every_policy(self, sym, mis_ctx, policy):
+        res = run_mis(sym, mis_ctx, policy)
+        assert verify_mis(sym, res.labels)
+
+    def test_partitioning_independent_answer(self, sym, mis_ctx):
+        """Deterministic priorities: the SAME set regardless of policy."""
+        a = run_mis(sym, mis_ctx, "oec").labels
+        b = run_mis(sym, mis_ctx, "cvc").labels
+        assert np.array_equal(a, b)
+
+    def test_triangle(self):
+        g = make_undirected(from_edges([0, 1, 2], [1, 2, 0], num_vertices=3))
+        ctx = RunContext(num_global_vertices=3,
+                         global_out_degrees=g.out_degrees(),
+                         global_degrees=g.out_degrees())
+        res = run_mis(g, ctx, "oec", parts=2)
+        assert (res.labels == IN_SET).sum() == 1  # exactly one of a triangle
+        assert verify_mis(g, res.labels)
+
+    def test_star_center_or_leaves(self):
+        g = make_undirected(from_edges([0] * 8, range(1, 9), num_vertices=9))
+        ctx = RunContext(num_global_vertices=9,
+                         global_out_degrees=g.out_degrees(),
+                         global_degrees=g.out_degrees())
+        res = run_mis(g, ctx, "oec", parts=2)
+        assert verify_mis(g, res.labels)
+        in_ct = (res.labels == IN_SET).sum()
+        assert in_ct in (1, 8)  # center alone, or all leaves
+
+    def test_isolated_vertices_stay_undecided(self):
+        g = from_edges([0], [1], num_vertices=4)
+        g = make_undirected(g)
+        ctx = RunContext(num_global_vertices=4,
+                         global_out_degrees=g.out_degrees(),
+                         global_degrees=g.out_degrees())
+        res = run_mis(g, ctx, "oec", parts=2)
+        assert verify_mis(g, res.labels)
+        assert res.labels[2] == UNDECIDED and res.labels[3] == UNDECIDED
+
+    def test_mis_is_bsp_only(self, sym, mis_ctx):
+        from repro.engine import BASPEngine
+
+        pg = partition(sym, "oec", 4)
+        with pytest.raises(ConfigurationError):
+            BASPEngine(pg, bridges(4), get_app("mis"), check_memory=False)
+
+    def test_missing_degrees_rejected(self, sym):
+        ctx = RunContext(num_global_vertices=sym.num_vertices)
+        pg = partition(sym, "oec", 4)
+        with pytest.raises(ValueError):
+            BSPEngine(
+                pg, bridges(4), get_app("mis"), check_memory=False
+            ).run(ctx)
+
+
+class TestVerifyMis:
+    def test_rejects_adjacent_in_pair(self):
+        g = make_undirected(from_edges([0], [1], num_vertices=2))
+        status = np.array([IN_SET, IN_SET], dtype=np.uint32)
+        assert not verify_mis(g, status)
+
+    def test_rejects_non_maximal(self):
+        g = make_undirected(from_edges([0], [1], num_vertices=2))
+        status = np.array([OUT_SET, OUT_SET], dtype=np.uint32)
+        assert not verify_mis(g, status)
+
+    def test_rejects_undecided_with_edges(self):
+        g = make_undirected(from_edges([0], [1], num_vertices=2))
+        status = np.array([UNDECIDED, IN_SET], dtype=np.uint32)
+        assert not verify_mis(g, status)
+
+    def test_accepts_valid(self):
+        g = make_undirected(from_edges([0], [1], num_vertices=2))
+        status = np.array([IN_SET, OUT_SET], dtype=np.uint32)
+        assert verify_mis(g, status)

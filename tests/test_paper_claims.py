@@ -1,0 +1,228 @@
+"""Qualitative reproduction tests: the paper's findings must hold in shape.
+
+Each test encodes one claim from the paper's abstract/Section V against the
+simulator.  These are the "does the reproduction reproduce" tests — slower
+than unit tests (medium datasets, up to 64 partitions) but the heart of the
+deliverable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import FieldSpec, GluonComm
+from repro.errors import SimulatedOOMError
+from repro.frameworks import DIrGL, Lux
+from repro.generators import load_dataset
+from repro.partition import partition, partition_stats
+from repro.study.variants import make_variant
+
+
+@pytest.fixture(scope="module")
+def twitter():
+    return load_dataset("twitter50-s")
+
+
+@pytest.fixture(scope="module")
+def uk07():
+    return load_dataset("uk07-s")
+
+
+def run(variant, bench, ds, n, policy="iec"):
+    return make_variant(variant, policy).run(bench, ds, n, check_memory=False)
+
+
+# --------------------------------------------------------------------------- #
+# Claim 1 (abstract): CVC is critical to scale out; it wins at >= 16 GPUs
+# --------------------------------------------------------------------------- #
+class TestCVCWinsAtScale:
+    @pytest.mark.parametrize("bench", ["sssp", "cc", "pr", "bfs"])
+    def test_cvc_best_on_social_graphs_at_32(self, twitter, bench):
+        times = {
+            pol: DIrGL(policy=pol, execution="sync")
+            .run(bench, twitter, 32, check_memory=False)
+            .stats.execution_time
+            for pol in ("cvc", "hvc", "iec", "oec")
+        }
+        assert min(times, key=times.get) == "cvc", times
+
+    def test_edge_cut_competitive_at_2_gpus(self, twitter):
+        """The paper's contrast with CPU studies: at small scale edge-cuts
+        are fine; the CVC advantage appears as GPUs scale out."""
+        t = {
+            pol: DIrGL(policy=pol, execution="sync")
+            .run("sssp", twitter, 2, check_memory=False)
+            .stats.execution_time
+            for pol in ("cvc", "iec")
+        }
+        assert t["iec"] <= t["cvc"] * 1.1
+
+    def test_cvc_gain_grows_with_scale(self, twitter):
+        gains = []
+        for n in (4, 16, 64):
+            cvc = DIrGL(policy="cvc", execution="sync").run(
+                "sssp", twitter, n, check_memory=False
+            )
+            iec = DIrGL(policy="iec", execution="sync").run(
+                "sssp", twitter, n, check_memory=False
+            )
+            gains.append(iec.stats.execution_time / cvc.stats.execution_time)
+        assert gains[-1] > gains[0]
+        assert gains[-1] > 1.2
+
+    def test_cvc_fewer_communication_partners_at_32(self, twitter):
+        dist = FieldSpec(name="dist", dtype=np.uint32, reduce_op="min",
+                         read_at="src", write_at="dst")
+        p_cvc = partition(twitter.graph, "cvc", 32)
+        p_iec = partition(twitter.graph, "iec", 32)
+        c_cvc = GluonComm(p_cvc, [dist])
+        c_iec = GluonComm(p_iec, [dist])
+        max_cvc = max(
+            len(c_cvc.reduce_partners("dist", p))
+            + len(c_cvc.broadcast_partners("dist", p))
+            for p in range(32)
+        )
+        max_iec = max(
+            len(c_iec.reduce_partners("dist", p))
+            + len(c_iec.broadcast_partners("dist", p))
+            for p in range(32)
+        )
+        assert max_cvc < max_iec
+
+
+# --------------------------------------------------------------------------- #
+# Claim 2: Var1 outperforms Lux; Lux does not scale
+# --------------------------------------------------------------------------- #
+class TestLuxVsVar1:
+    @pytest.mark.parametrize("bench", ["cc", "pr"])
+    def test_var1_beats_lux(self, twitter, bench):
+        lux = run("lux", bench, twitter, 4)
+        var1 = run("var1", bench, twitter, 4)
+        assert var1.stats.execution_time <= lux.stats.execution_time
+
+    def test_lux_volume_larger(self, twitter):
+        """No update tracking + explicit global IDs => more bytes."""
+        lux = run("lux", "cc", twitter, 4)
+        var4 = run("var4", "cc", twitter, 4)
+        assert lux.stats.comm_volume_bytes > 2 * var4.stats.comm_volume_bytes
+
+
+# --------------------------------------------------------------------------- #
+# Claim 3: ALB matters exactly for pull-pagerank on huge-in-degree inputs
+# --------------------------------------------------------------------------- #
+class TestALBvsTWC:
+    def test_alb_wins_on_pull_pagerank(self, uk07):
+        var1 = run("var1", "pr", uk07, 32)  # TWC
+        var2 = run("var2", "pr", uk07, 32)  # ALB
+        assert var2.stats.execution_time < 0.7 * var1.stats.execution_time
+        assert var2.stats.max_compute < var1.stats.max_compute
+
+    @pytest.mark.parametrize("bench", ["bfs", "sssp", "cc"])
+    def test_tied_on_push_benchmarks(self, uk07, bench):
+        """Push apps read bounded out-degrees: no thread-block imbalance,
+        so Var1 and Var2 perform similarly (Section V-B2)."""
+        var1 = run("var1", bench, uk07, 32)
+        var2 = run("var2", bench, uk07, 32)
+        ratio = var1.stats.execution_time / var2.stats.execution_time
+        assert 0.8 < ratio < 1.35, ratio
+
+
+# --------------------------------------------------------------------------- #
+# Claim 4: UO reduces communication volume vs AS
+# --------------------------------------------------------------------------- #
+class TestUOvsAS:
+    @pytest.mark.parametrize("bench", ["bfs", "cc", "kcore", "pr", "sssp"])
+    def test_uo_volume_lower(self, uk07, bench):
+        var2 = run("var2", bench, uk07, 32)  # AS
+        var3 = run("var3", bench, uk07, 32)  # UO
+        assert var3.stats.comm_volume_bytes < var2.stats.comm_volume_bytes
+
+    def test_uo_big_win_on_sparse_update_apps(self, uk07):
+        var2 = run("var2", "sssp", uk07, 32)
+        var3 = run("var3", "sssp", uk07, 32)
+        assert var3.stats.comm_volume_bytes < 0.4 * var2.stats.comm_volume_bytes
+
+    def test_uo_pays_extraction_overhead(self, uk07):
+        """UO's prefix-scan extraction is visible in device time even when
+        volume shrinks (the paper's uk07/sssp latency-bound anecdote)."""
+        var3 = run("var3", "sssp", uk07, 32)
+        assert var3.stats.device_comm > 0
+
+
+# --------------------------------------------------------------------------- #
+# Claim 5: Async usually helps, but not always
+# --------------------------------------------------------------------------- #
+class TestSyncVsAsync:
+    def test_async_wins_usually(self, twitter, uk07):
+        wins = 0
+        cases = [("sssp", uk07), ("sssp", twitter), ("cc", twitter)]
+        for bench, ds in cases:
+            v3 = run("var3", bench, ds, 32)
+            v4 = run("var4", bench, ds, 32)
+            if v4.stats.execution_time <= v3.stats.execution_time:
+                wins += 1
+        assert wins >= 2
+
+    def test_async_causes_redundant_work(self):
+        """Stale reads on the long-tail crawl inflate local rounds and work
+        items (the paper's bfs/uk14 observation)."""
+        uk14 = load_dataset("uk14-s")
+        v3 = run("var3", "bfs", uk14, 64)
+        v4 = run("var4", "bfs", uk14, 64)
+        assert v4.stats.work_items > 1.2 * v3.stats.work_items
+        assert v4.stats.local_rounds_max > v3.stats.rounds
+
+    def test_async_not_always_better(self, uk07):
+        """pr's fine-grained incremental propagation makes BASP's extra
+        local rounds a net loss on the crawl — one of the paper's 'in a
+        few cases ... worse' instances (theirs was bfs/uk14)."""
+        v3 = run("var3", "pr", uk07, 8)
+        v4 = run("var4", "pr", uk07, 8)
+        assert v4.stats.execution_time > v3.stats.execution_time
+
+
+# --------------------------------------------------------------------------- #
+# Claim 6: static balance ~ memory balance; OOM from static imbalance
+# --------------------------------------------------------------------------- #
+class TestStaticBalanceAndMemory:
+    def test_static_correlates_with_memory(self):
+        """Table IV's second takeaway: memory tracks the edge distribution.
+
+        We require close agreement for at least 3 of the 4 policies: IEC on
+        the scaled stand-in concentrates a fifth of all vertices as mirrors
+        on the authority hub's partition (a small-scale artifact documented
+        in EXPERIMENTS.md), which adds vertex-driven memory on top of the
+        edge-driven share.
+        """
+        uk14 = load_dataset("uk14-s")
+        close = 0
+        for pol in ("cvc", "hvc", "iec", "oec"):
+            s = partition_stats(partition(uk14.graph, pol, 64))
+            r = DIrGL(policy=pol, execution="sync").run(
+                "bfs", uk14, 64, check_memory=False
+            )
+            if abs(r.stats.memory_balance - s.static_balance) < 0.05:
+                close += 1
+        assert close >= 3
+
+    def test_static_imbalance_causes_oom_on_large(self):
+        """Figure 9's missing bars: a policy whose partitions concentrate
+        proxies OOMs on a large graph while balanced policies run the
+        identical configuration."""
+        uk14 = load_dataset("uk14-s")
+        with pytest.raises(SimulatedOOMError):
+            DIrGL(policy="iec", execution="sync").run("cc", uk14, 64)
+        # CVC runs the same configuration (barely — ~15.6 of 16 GB)
+        res = DIrGL(policy="cvc", execution="sync").run("cc", uk14, 64)
+        assert res.stats.memory_max_gb < 16
+
+    def test_lux_cannot_run_any_large_graph(self):
+        for name in ("clueweb12-s", "uk14-s", "wdc14-s"):
+            ds = load_dataset(name)
+            with pytest.raises(SimulatedOOMError):
+                Lux().run("pr", ds, 64)
+
+    def test_dirgl_runs_every_large_graph(self):
+        for name in ("clueweb12-s", "uk14-s", "wdc14-s"):
+            ds = load_dataset(name)
+            res = DIrGL(policy="cvc", execution="sync").run("bfs", ds, 64)
+            assert res.stats.execution_time > 0

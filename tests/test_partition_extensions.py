@@ -1,0 +1,122 @@
+"""Tests for the XtraPulp-like partitioner and partition serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, PartitioningError
+from repro.generators import rmat, webcrawl
+from repro.partition import (
+    load_partitions,
+    partition,
+    partition_stats,
+    save_partitions,
+    xtrapulp_like,
+)
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return webcrawl(3000, 12.0, seed=2)
+
+
+class TestXtraPulpLike:
+    def test_valid_partitioning(self, crawl):
+        pg = xtrapulp_like(crawl, 8)
+        pg.validate()
+
+    def test_balance_constraint_respected(self, crawl):
+        pg = xtrapulp_like(crawl, 8, imbalance=1.10)
+        s = partition_stats(pg)
+        assert s.static_balance <= 1.25  # slack for seed imbalance
+
+    def test_locality_beats_blocked_iec_on_crawl(self, crawl):
+        xp = partition_stats(xtrapulp_like(crawl, 8))
+        iec = partition_stats(partition(crawl, "iec", 8, cache=False))
+        assert xp.replication_factor < iec.replication_factor
+
+    def test_more_sweeps_do_not_hurt_cut(self, crawl):
+        one = partition_stats(xtrapulp_like(crawl, 8, sweeps=1))
+        three = partition_stats(xtrapulp_like(crawl, 8, sweeps=3))
+        assert three.replication_factor <= one.replication_factor * 1.02
+
+    def test_registered_policy(self, crawl):
+        pg = partition(crawl, "xtrapulp-like", 4, cache=False)
+        assert pg.policy == "xtrapulp-like"
+
+    def test_runs_through_engine(self, crawl):
+        from repro.apps import get_app
+        from repro.engine import BSPEngine, RunContext
+        from repro.hw import bridges
+        from repro.validation import reference_bfs
+
+        src = int(np.argmax(crawl.out_degrees()))
+        ctx = RunContext(
+            num_global_vertices=crawl.num_vertices, source=src,
+            global_out_degrees=crawl.out_degrees(),
+        )
+        pg = partition(crawl, "xtrapulp-like", 8, cache=False)
+        res = BSPEngine(
+            pg, bridges(8), get_app("bfs"), check_memory=False
+        ).run(ctx)
+        assert np.array_equal(res.labels, reference_bfs(crawl, src))
+
+
+class TestPartitionIO:
+    def test_roundtrip(self, crawl, tmp_path):
+        pg = partition(crawl, "cvc", 8, cache=False)
+        path = tmp_path / "parts.npz"
+        save_partitions(pg, path)
+        pg2 = load_partitions(path, crawl)
+        pg2.validate()
+        assert pg2.policy == "cvc"
+        assert pg2.grid == pg.grid
+        assert pg2.replication_factor == pg.replication_factor
+        for a, b in zip(pg.parts, pg2.parts):
+            assert a.graph == b.graph
+            assert np.array_equal(a.local_to_global, b.local_to_global)
+            assert np.array_equal(a.is_master, b.is_master)
+            assert set(a.mirror_exchange) == set(b.mirror_exchange)
+
+    def test_loaded_partitions_run(self, crawl, tmp_path):
+        from repro.apps import get_app
+        from repro.engine import BSPEngine, RunContext
+        from repro.hw import bridges
+        from repro.validation import reference_bfs
+
+        pg = partition(crawl, "hvc", 4, cache=False)
+        path = tmp_path / "parts.npz"
+        save_partitions(pg, path)
+        pg2 = load_partitions(path, crawl)
+        src = int(np.argmax(crawl.out_degrees()))
+        ctx = RunContext(
+            num_global_vertices=crawl.num_vertices, source=src,
+            global_out_degrees=crawl.out_degrees(),
+        )
+        res = BSPEngine(
+            pg2, bridges(4), get_app("bfs"), check_memory=False
+        ).run(ctx)
+        assert np.array_equal(res.labels, reference_bfs(crawl, src))
+
+    def test_rejects_wrong_graph(self, crawl, tmp_path):
+        pg = partition(crawl, "oec", 4, cache=False)
+        path = tmp_path / "parts.npz"
+        save_partitions(pg, path)
+        other = rmat(8, edge_factor=4, seed=9)
+        with pytest.raises(PartitioningError):
+            load_partitions(path, other)
+
+    def test_rejects_foreign_file(self, crawl, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, a=np.arange(4))
+        with pytest.raises(GraphFormatError):
+            load_partitions(path, crawl)
+
+    def test_weighted_partitions_roundtrip(self, tmp_path):
+        from repro.graph.transform import add_random_weights
+
+        g = add_random_weights(rmat(8, edge_factor=6, seed=1), seed=0)
+        pg = partition(g, "oec", 4, cache=False)
+        path = tmp_path / "w.npz"
+        save_partitions(pg, path)
+        pg2 = load_partitions(path, g)
+        assert all(p.graph.has_weights for p in pg2.parts if p.graph.num_edges)

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for partitioning invariants.
+
+These check the invariants the whole framework rests on, over arbitrary
+random graphs: master uniqueness, edge conservation, exchange-list symmetry,
+and each policy's structural invariant.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import from_edges
+from repro.partition import POLICIES, partition
+
+MAX_V = 60
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=MAX_V))
+    m = draw(st.integers(min_value=0, max_value=4 * n))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return from_edges(src, dst, num_vertices=n)
+
+
+@st.composite
+def graph_and_parts(draw):
+    g = draw(graphs())
+    p = draw(st.sampled_from([1, 2, 3, 4, 6, 8]))
+    return g, p
+
+
+@given(gp=graph_and_parts(), policy=st.sampled_from(sorted(POLICIES)))
+@settings(max_examples=60, deadline=None)
+def test_partition_structurally_valid(gp, policy):
+    g, parts = gp
+    pg = partition(g, policy, parts, cache=False)
+    pg.validate()
+
+
+@given(gp=graph_and_parts(), policy=st.sampled_from(sorted(POLICIES)))
+@settings(max_examples=40, deadline=None)
+def test_gather_reconstructs_identity(gp, policy):
+    g, parts = gp
+    pg = partition(g, policy, parts, cache=False)
+    labels = [p.local_to_global.astype(np.int64) for p in pg.parts]
+    assert np.array_equal(
+        pg.gather_master_labels(labels), np.arange(g.num_vertices)
+    )
+
+
+@given(gp=graph_and_parts())
+@settings(max_examples=40, deadline=None)
+def test_oec_invariant_holds(gp):
+    g, parts = gp
+    pg = partition(g, "oec", parts, cache=False)
+    for p in pg.parts:
+        assert not np.any(p.has_out_edges() & ~p.is_master)
+
+
+@given(gp=graph_and_parts())
+@settings(max_examples=40, deadline=None)
+def test_iec_invariant_holds(gp):
+    g, parts = gp
+    pg = partition(g, "iec", parts, cache=False)
+    for p in pg.parts:
+        assert not np.any(p.has_in_edges() & ~p.is_master)
+
+
+@given(gp=graph_and_parts())
+@settings(max_examples=40, deadline=None)
+def test_cvc_invariants_hold(gp):
+    g, parts = gp
+    pg = partition(g, "cvc", parts, cache=False)
+    pr, pc = pg.grid
+    for p in pg.parts:
+        row, col = p.pid // pc, p.pid % pc
+        out_g = p.local_to_global[p.has_out_edges()]
+        in_g = p.local_to_global[p.has_in_edges()]
+        assert np.all(pg.vertex_owner[out_g] // pc == row)
+        assert np.all(pg.vertex_owner[in_g] % pc == col)
+
+
+@given(gp=graph_and_parts(), policy=st.sampled_from(sorted(POLICIES)))
+@settings(max_examples=40, deadline=None)
+def test_local_degrees_sum_to_global(gp, policy):
+    """Per-vertex out-degree summed over partitions equals global degree."""
+    g, parts = gp
+    pg = partition(g, policy, parts, cache=False)
+    acc = np.zeros(g.num_vertices, dtype=np.int64)
+    for p in pg.parts:
+        np.add.at(acc, p.local_to_global, p.graph.out_degrees())
+    assert np.array_equal(acc, g.out_degrees())
