@@ -1,0 +1,158 @@
+"""Performance-regression harness for the vectorized Gluon sync hot path.
+
+Two guards, one committed baseline (``benchmarks/BENCH_sync.json``):
+
+* the **workload matrix** — bfs/cc/pr x IEC/CVC x BSP/BASP x AS/UO on a
+  seeded RMAT graph.  Simulated metrics (execution time, rounds, messages,
+  wire bytes, work items, label CRC) are machine-independent and must match
+  the baseline to a tight relative tolerance; wall-clock must stay within a
+  loose slack factor (``--wall-tol`` / ``REPRO_BENCH_WALL_TOL``).
+* the **vectorization speedup gate** — the pagerank/CVC/BSP/UO cell timed
+  against the retained pre-vectorization reference path (per-element
+  extraction + per-message pricing) must stay >= 3x, with identical
+  deterministic metrics on both legs.
+
+Usage::
+
+    python benchmarks/bench_regression.py               # full check
+    python benchmarks/bench_regression.py --check-only  # matrix only (CI)
+    python benchmarks/bench_regression.py --update      # regenerate baseline
+
+The module doubles as a pytest bench (``pytest benchmarks/bench_regression.py
+--benchmark-only``) that archives the regenerated table like the paper
+benches do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from benchmarks.conftest import archive
+from repro.metrics.perfbaseline import (
+    SPEEDUP_MIN_RATIO,
+    compare_to_baseline,
+    default_wall_tolerance,
+    load_baseline,
+    measure_speedup,
+    run_matrix,
+    write_baseline,
+)
+from repro.study.report import format_table
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sync.json"
+
+
+def _matrix_table(results) -> str:
+    rows = [
+        [
+            key,
+            f"{cell.wall_seconds * 1e3:.1f}",
+            f"{cell.sim_seconds:.4f}",
+            cell.rounds,
+            cell.messages,
+            f"{cell.comm_bytes / 1e6:.2f}",
+        ]
+        for key, cell in sorted(results.items())
+    ]
+    return format_table(
+        ["cell", "wall (ms)", "sim (s)", "rounds", "messages", "MB"],
+        rows,
+        title="Sync-path regression matrix (RMAT, 4 partitions)",
+    )
+
+
+def _speedup_line(sp: dict) -> str:
+    return (
+        f"vectorization speedup on {sp['cell']}: "
+        f"{sp['scalar_wall_seconds'] * 1e3:.1f} ms scalar / "
+        f"{sp['vectorized_wall_seconds'] * 1e3:.1f} ms vectorized = "
+        f"{sp['speedup']:.2f}x (gate: >= {SPEEDUP_MIN_RATIO:.1f}x)"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# pytest bench entry points
+# --------------------------------------------------------------------------- #
+def test_regression_matrix(once):
+    results = once(run_matrix)
+    archive("regression_matrix", _matrix_table(results))
+    baseline = load_baseline(BASELINE_PATH)
+    violations = compare_to_baseline(
+        results, baseline, wall_tolerance=default_wall_tolerance()
+    )
+    assert not violations, "\n".join(violations)
+
+
+def test_vectorization_speedup(once):
+    sp = once(measure_speedup)
+    archive("regression_speedup", _speedup_line(sp))
+    assert sp["speedup"] >= SPEEDUP_MIN_RATIO, _speedup_line(sp)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--update", action="store_true",
+        help="regenerate the committed baseline from this machine",
+    )
+    ap.add_argument(
+        "--check-only", action="store_true",
+        help="matrix-vs-baseline check only; skip the speedup gate "
+             "(what CI runs)",
+    )
+    ap.add_argument(
+        "--wall-tol", type=float, default=None,
+        help="wall-clock slack factor per cell (default: "
+             "REPRO_BENCH_WALL_TOL or 4.0); 0 disables wall-clock checks",
+    )
+    args = ap.parse_args(argv)
+
+    results = run_matrix()
+    print(_matrix_table(results))
+    print()
+
+    if args.update:
+        speedup = measure_speedup()
+        print(_speedup_line(speedup))
+        write_baseline(BASELINE_PATH, results, speedup=speedup)
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    wall_tol = args.wall_tol
+    if wall_tol is None:
+        wall_tol = default_wall_tolerance()
+    elif wall_tol == 0:
+        wall_tol = None
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update first")
+        return 2
+    baseline = load_baseline(BASELINE_PATH)
+    violations = compare_to_baseline(results, baseline, wall_tolerance=wall_tol)
+    for v in violations:
+        print(f"REGRESSION: {v}")
+
+    if not args.check_only:
+        speedup = measure_speedup()
+        print(_speedup_line(speedup))
+        if speedup["speedup"] < SPEEDUP_MIN_RATIO:
+            violations.append(
+                f"speedup gate: {speedup['speedup']:.2f}x < "
+                f"{SPEEDUP_MIN_RATIO:.1f}x"
+            )
+            print(f"REGRESSION: {violations[-1]}")
+
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    print("all cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,17 +109,21 @@ class PageRankPull(VertexProgram):
         scaled = state["scaled_rank"]
         last = state["_last_partial"]
         degrees = self.frontier_degrees(part, frontier)
-        # the pull expansion is identical every round: compute it once
+        # the pull expansion is identical every round: compute it once,
+        # along with each frontier position's segment start in it
         exp = state.get("_topo_expansion")
         if exp is None or exp[2] != len(frontier):
             rev = part.graph.reverse()
             rep, in_nbrs, _ = expand_frontier(rev, frontier)
-            exp = (rep, in_nbrs, len(frontier))
+            starts = np.searchsorted(rep, np.arange(len(frontier)))
+            exp = (rep, in_nbrs, len(frontier), starts)
             state["_topo_expansion"] = exp
-        rep, in_nbrs, _ = exp
-        partial = np.bincount(
-            rep, weights=scaled[in_nbrs], minlength=len(frontier)
-        )
+        rep, in_nbrs, starts = exp[0], exp[1], exp[3]
+        # segmented sum over the sorted expansion; every frontier vertex
+        # has at least one in-edge, so no segment is empty (reduceat's
+        # empty-segment pitfall) and the result is bit-identical to
+        # bincount-with-weights, just without its histogram pass
+        partial = np.add.reduceat(scaled[in_nbrs].astype(np.float64), starts)
         delta = partial - last[frontier]
         # residual thresholding, *relative* to the partial's magnitude:
         # deltas too small to matter stay local and keep accumulating.

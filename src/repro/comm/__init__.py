@@ -2,17 +2,20 @@
 structural-invariant and update-driven optimizations."""
 
 from repro.comm.bitset import Bitset
-from repro.comm.buffers import Message, MessageHeader
+from repro.comm.buffers import Message, MessageBatch, MessageHeader, batch_arrays
 from repro.comm.gluon import CommConfig, FieldSpec, GluonComm
-from repro.comm.router import RoutedMessage, Router
+from repro.comm.router import BatchLegTimes, RoutedMessage, Router
 
 __all__ = [
     "Bitset",
     "Message",
+    "MessageBatch",
     "MessageHeader",
+    "batch_arrays",
     "CommConfig",
     "FieldSpec",
     "GluonComm",
     "Router",
     "RoutedMessage",
+    "BatchLegTimes",
 ]

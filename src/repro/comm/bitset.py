@@ -3,7 +3,8 @@
 Gluon tracks which proxies were updated each round with device-side bitsets;
 the wire format packs one bit per element of the memoized exchange order.
 We store an unpacked boolean array for fast NumPy indexing and expose the
-*packed* size for wire accounting.
+*packed* wire form (:meth:`to_packed` / :meth:`from_packed`, 8 bits per
+byte via ``np.packbits``) for size accounting and serialization.
 """
 
 from __future__ import annotations
@@ -19,6 +20,8 @@ class Bitset:
     __slots__ = ("bits",)
 
     def __init__(self, size: int):
+        if size < 0:
+            raise ValueError(f"bitset size must be non-negative, got {size}")
         self.bits = np.zeros(size, dtype=bool)
 
     @property
@@ -48,10 +51,47 @@ class Bitset:
     def indices(self) -> np.ndarray:
         return np.flatnonzero(self.bits)
 
+    # ------------------------------------------------------------------ #
+    # packed wire form
+    # ------------------------------------------------------------------ #
     @staticmethod
-    def packed_nbytes(num_elements: int) -> int:
-        """Wire bytes of a packed bitset over ``num_elements`` bits."""
-        return (num_elements + 7) // 8
+    def packed_nbytes(num_elements) -> int:
+        """Wire bytes of a packed bitset over ``num_elements`` bits.
+
+        Always a plain Python ``int`` (NumPy integers would leak into the
+        JSON-serialized wire accounting), and rejects negative domains.
+        """
+        n = int(num_elements)
+        if n < 0:
+            raise ValueError(f"bit count must be non-negative, got {n}")
+        return (n + 7) // 8
+
+    def to_packed(self) -> np.ndarray:
+        """The wire form: 8 bits per byte, little-endian within each byte.
+
+        ``len(to_packed()) == packed_nbytes(size)`` — the invariant the
+        wire accounting in :meth:`Message.wire_bytes` relies on.
+        """
+        return np.packbits(self.bits, bitorder="little")
+
+    @classmethod
+    def from_packed(cls, packed, size: int) -> "Bitset":
+        """Rebuild a bitset of ``size`` elements from its packed wire form."""
+        packed = np.asarray(packed, dtype=np.uint8)
+        if len(packed) != cls.packed_nbytes(size):
+            raise ValueError(
+                f"packed form has {len(packed)} bytes; "
+                f"{cls.packed_nbytes(size)} expected for {size} bits"
+            )
+        b = cls(size)
+        if size:
+            b.bits[:] = np.unpackbits(packed, count=size, bitorder="little").astype(bool)
+        return b
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Bitset):
+            return NotImplemented
+        return np.array_equal(self.bits, other.bits)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Bitset {self.count()}/{self.size} set>"

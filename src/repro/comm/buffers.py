@@ -16,14 +16,14 @@ it is also what the figures' GB labels sum.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import NamedTuple, Optional
 
 import numpy as np
 
 from repro.comm.bitset import Bitset
 from repro.constants import GID_BYTES
 
-__all__ = ["MessageHeader", "Message"]
+__all__ = ["MessageHeader", "Message", "MessageBatch", "batch_arrays"]
 
 #: Fixed per-message envelope (tags, field id, counts).
 HEADER_BYTES = 64
@@ -90,3 +90,35 @@ class Message:
             f"<Message {h.phase} {h.src}->{h.dst} field={h.field} "
             f"n={self.num_elements} {self.wire_bytes()}B>"
         )
+
+
+class MessageBatch(NamedTuple):
+    """Structure-of-arrays view of a message list for bulk pricing.
+
+    One pass over the Python objects extracts everything the router's
+    vectorized leg pricing needs; all subsequent math is NumPy over these
+    arrays (see :meth:`repro.comm.router.Router.price_batch`).
+    """
+
+    src: np.ndarray  # int64 sender pid per message
+    dst: np.ndarray  # int64 receiver pid per message
+    wire_bytes: np.ndarray  # float64 unscaled wire bytes per message
+    num_elements: np.ndarray  # float64 payload element count per message
+    scanned_elements: np.ndarray  # float64 UO extraction scan length
+
+
+def batch_arrays(messages: list[Message]) -> MessageBatch:
+    """Collect per-message scalars into arrays, one attribute pass total."""
+    n = len(messages)
+    src = np.empty(n, dtype=np.int64)
+    dst = np.empty(n, dtype=np.int64)
+    wire = np.empty(n, dtype=np.float64)
+    elems = np.empty(n, dtype=np.float64)
+    scanned = np.empty(n, dtype=np.float64)
+    for i, m in enumerate(messages):
+        src[i] = m.header.src
+        dst[i] = m.header.dst
+        wire[i] = m.wire_bytes()
+        elems[i] = m.num_elements
+        scanned[i] = m.scanned_elements
+    return MessageBatch(src, dst, wire, elems, scanned)

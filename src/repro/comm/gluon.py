@@ -21,6 +21,18 @@ ablation:
 * **address memoization** (footnote 1): both sides agree on a fixed
   exchange order at partition time, so messages carry no global IDs; with
   memoization off, every element ships an 8-byte ID (Lux's wire format).
+
+Extraction is the per-round hot path, so it is fully vectorized: each
+sender's outgoing plans for a field are flattened into one contiguous
+index table at plan-build time, the dirty-bit filter is a single NumPy
+gather over that table, and per-partner messages are sliced out of bulk
+gathers (see ``_SendTable``).  Plans and tables depend only on the
+partitioned graph, the field's read/write locations, and the filtering
+flag, so they are memoized on the :class:`PartitionedGraph` and shared by
+every engine/run over the same partitions.  The pre-vectorization
+per-element reference implementation is kept as :meth:`_extract_scalar`
+and exercised by the differential equivalence suite
+(``tests/test_comm_vectorized_equiv.py``).
 """
 
 from __future__ import annotations
@@ -112,6 +124,58 @@ class _PairPlan:
     recv_idx: np.ndarray  # local ids on the receiver, aligned element-wise
 
 
+@dataclass
+class _SendTable:
+    """One sender's outgoing plans for a field, flattened for bulk ops.
+
+    ``flat_send`` is the concatenation of every partner's ``send_idx``;
+    ``offsets[k]:offsets[k+1]`` delimits partner ``k``'s segment.  A UO
+    extraction gathers the dirty bits for the whole table at once instead
+    of once per partner, and slices per-partner payloads out of a single
+    bulk value gather.  Segments are never empty (empty plans are dropped
+    at build time), which keeps the segmentation math free of zero-length
+    fancy-index edge cases.
+    """
+
+    receivers: list[int]  # partner pid per segment, in plan order
+    plans: list[_PairPlan]  # aligned with receivers
+    flat_send: np.ndarray  # concat of every plan.send_idx
+    offsets: np.ndarray  # int64, len(receivers) + 1
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.receivers)
+
+
+def _build_send_tables(
+    plans: dict[tuple[int, int], _PairPlan], num_partitions: int
+) -> list[_SendTable | None]:
+    """Group a plan dict by sender into flat extraction tables."""
+    grouped: list[tuple[list[int], list[_PairPlan]]] = [
+        ([], []) for _ in range(num_partitions)
+    ]
+    for (s, d), plan in plans.items():
+        grouped[s][0].append(d)
+        grouped[s][1].append(plan)
+    tables: list[_SendTable | None] = []
+    for receivers, pair_plans in grouped:
+        if not receivers:
+            tables.append(None)
+            continue
+        lens = np.asarray([len(p.send_idx) for p in pair_plans], dtype=np.int64)
+        offsets = np.zeros(len(lens) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        tables.append(
+            _SendTable(
+                receivers=receivers,
+                plans=pair_plans,
+                flat_send=np.concatenate([p.send_idx for p in pair_plans]),
+                offsets=offsets,
+            )
+        )
+    return tables
+
+
 class GluonComm:
     """Synchronization engine for one partitioned graph and field set."""
 
@@ -126,19 +190,48 @@ class GluonComm:
         self.fields = {f.name: f for f in fields}
         if len(self.fields) != len(fields):
             raise ConfigurationError("duplicate field names")
+        #: when True, extraction runs the pre-vectorization per-element
+        #: reference path — kept for differential testing and for the
+        #: regression bench's scalar-vs-vectorized speedup measurement.
+        self.use_scalar_extraction = False
         # updated[field][p] — dirty bits over partition p's local proxies
         self.updated: dict[str, list[Bitset]] = {
             f.name: [Bitset(p.num_local) for p in pg.parts] for f in fields
         }
         # plans[field] -> (reduce_plans, broadcast_plans); each maps
-        # (sender, receiver) -> _PairPlan
-        self._plans: dict[str, tuple[dict, dict]] = {
-            f.name: self._build_plans(f) for f in fields
-        }
+        # (sender, receiver) -> _PairPlan.  tables[field] -> per-sender
+        # flat extraction tables for (reduce, broadcast).
+        self._plans: dict[str, tuple[dict, dict]] = {}
+        self._tables: dict[str, tuple[list, list]] = {}
+        for f in fields:
+            plans, tables = self._plans_for(f)
+            self._plans[f.name] = plans
+            self._tables[f.name] = tables
 
     # ------------------------------------------------------------------ #
     # plan construction
     # ------------------------------------------------------------------ #
+    def _plans_for(self, spec: FieldSpec):
+        """Build (or fetch memoized) plans + tables for one field.
+
+        Plans depend only on the partitioned graph, the field's
+        read/write locations, and the filtering flag — not on the field
+        name, dtype, or reduce op — so they are cached on the
+        :class:`PartitionedGraph` and shared across fields, engines, and
+        rounds (the cross-round sync-plan memoization).
+        """
+        cache = self.pg.__dict__.setdefault("_gluon_plan_cache", {})
+        key = (spec.read_at, spec.write_at, self.config.invariant_filtering)
+        hit = cache.get(key)
+        if hit is None:
+            plans = self._build_plans(spec)
+            tables = (
+                _build_send_tables(plans[0], self.pg.num_partitions),
+                _build_send_tables(plans[1], self.pg.num_partitions),
+            )
+            hit = cache[key] = (plans, tables)
+        return hit
+
     def _proxy_filter(self, part, location: str) -> np.ndarray:
         """Which local proxies can read/write a field at ``location``."""
         if location == "src":
@@ -165,6 +258,8 @@ class GluonComm:
                             continue
                         send_idx = send_idx[mask]
                         recv_idx = recv_idx[mask]
+                    if len(send_idx) == 0:
+                        continue  # degenerate exchange list: no plan
                     reduce_plans[(r.pid, m)] = _PairPlan(send_idx, recv_idx)
 
         if spec.read_at != "none":
@@ -180,6 +275,8 @@ class GluonComm:
                             continue
                         send_idx = send_idx[mask]
                         recv_idx = recv_idx[mask]
+                    if len(send_idx) == 0:
+                        continue
                     broadcast_plans[(m, r.pid)] = _PairPlan(send_idx, recv_idx)
 
         return reduce_plans, broadcast_plans
@@ -199,64 +296,182 @@ class GluonComm:
         """Engine hook: record that the operator wrote these proxies."""
         self.updated[field][pid].set(local_ids)
 
-    # ------------------------------------------------------------------ #
-    # reduce
-    # ------------------------------------------------------------------ #
-    def make_reduce_messages(
-        self, field: str, pid: int, labels: list[np.ndarray]
-    ) -> list[Message]:
-        """Extract this partition's reduce messages (mirror -> master).
+    def pending_sends(self, field: str, phase: str, pid: int) -> bool:
+        """Was any proxy in ``pid``'s outgoing exchange for this phase
+        written since its last send?  (One bulk gather over the flat
+        table; dirty bits on proxies outside every exchange list do not
+        count — they can never produce a message.)"""
+        table = self._tables[field][0 if phase == "reduce" else 1][pid]
+        if table is None:
+            return False
+        return bool(self.updated[field][pid].bits[table.flat_send].any())
 
-        Under UO only dirty elements ship (dirty bits for sent mirrors are
-        cleared; accumulators are reset to identity).  Under AS the full
-        invariant-filtered exchange ships.
+    # ------------------------------------------------------------------ #
+    # extraction (vectorized hot path)
+    # ------------------------------------------------------------------ #
+    def _extract(self, field: str, phase: str, pid: int, labels) -> list[Message]:
+        """Build partition ``pid``'s outgoing messages for one phase.
+
+        Under UO only dirty elements ship (dirty bits for sent proxies are
+        cleared; reduce-phase accumulators are reset to identity).  Under
+        AS the full invariant-filtered exchange ships.
         """
+        if self.use_scalar_extraction:
+            return self._extract_scalar(field, phase, pid, labels)
         spec = self.fields[field]
-        reduce_plans, _ = self._plans[field]
+        table = self._tables[field][0 if phase == "reduce" else 1][pid]
+        if table is None:
+            return []
         cfg = self.config
         part = self.pg.parts[pid]
+        lab = labels[pid]
+        memoized = cfg.memoize_addresses
+        out: list[Message] = []
+
+        if not cfg.update_only:
+            # AS: every plan ships in full — one bulk gather, sliced per
+            # partner along the precomputed offsets.
+            vals = lab[table.flat_send]
+            ids = None if memoized else part.local_to_global[table.flat_send]
+            offs = table.offsets
+            for k, dst in enumerate(table.receivers):
+                lo, hi = offs[k], offs[k + 1]
+                out.append(
+                    Message(
+                        header=MessageHeader(pid, dst, phase, field),
+                        values=vals[lo:hi],
+                        positions=None,
+                        exchange_len=len(table.plans[k].send_idx),
+                        explicit_ids=(
+                            ids[lo:hi] if ids is not None else None
+                        ),
+                        scanned_elements=0,
+                    )
+                )
+            # Everything shipped counts as sent: dirty bits drop and
+            # accumulators reset exactly as under UO.
+            self.updated[field][pid].clear(table.flat_send)
+            if phase == "reduce" and spec.reset_after_reduce:
+                lab[table.flat_send] = spec.identity
+            return out
+
+        # UO: one dirty-bit gather over the whole flat table, then
+        # segment the hits back into per-partner messages.
+        dirty = self.updated[field][pid]
+        flat_mask = dirty.bits[table.flat_send]
+        hits = np.flatnonzero(flat_mask)
+        if len(hits) == 0:
+            return out
+        seg_of = np.searchsorted(table.offsets, hits, side="right") - 1
+        rel = hits - table.offsets[seg_of]  # positions within each plan
+        counts = np.bincount(seg_of, minlength=table.num_segments)
+        bounds = np.zeros(table.num_segments + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        flat_sel = table.flat_send[hits]
+        flat_vals = lab[flat_sel]
+        flat_ids = None if memoized else part.local_to_global[flat_sel]
+        for k, dst in enumerate(table.receivers):
+            lo, hi = bounds[k], bounds[k + 1]
+            if lo == hi:
+                # zero dirty proxies for this partner: no message, and the
+                # partner's dirty bits (there are none) stay untouched.
+                continue
+            out.append(
+                Message(
+                    header=MessageHeader(pid, dst, phase, field),
+                    values=flat_vals[lo:hi],
+                    positions=rel[lo:hi],
+                    exchange_len=len(table.plans[k].send_idx),
+                    explicit_ids=(
+                        flat_ids[lo:hi] if flat_ids is not None else None
+                    ),
+                    scanned_elements=len(table.plans[k].send_idx),
+                )
+            )
+        # Clear only the proxies actually sent; a sender serving several
+        # partners (broadcast along a CVC grid row) clears once, after
+        # every partner's payload was gathered.
+        dirty.clear(flat_sel)
+        if phase == "reduce" and spec.reset_after_reduce:
+            lab[flat_sel] = spec.identity
+        return out
+
+    # ------------------------------------------------------------------ #
+    # extraction (pre-vectorization scalar reference)
+    # ------------------------------------------------------------------ #
+    def _extract_scalar(
+        self, field: str, phase: str, pid: int, labels
+    ) -> list[Message]:
+        """Per-element reference implementation of :meth:`_extract`.
+
+        Semantically identical to the vectorized path, one proxy at a
+        time — the oracle for the differential equivalence suite and the
+        "before" leg of the regression bench's speedup measurement.
+        """
+        spec = self.fields[field]
+        plans = self._plans[field][0 if phase == "reduce" else 1]
+        cfg = self.config
+        part = self.pg.parts[pid]
+        lab = labels[pid]
         dirty = self.updated[field][pid]
         out: list[Message] = []
-        sent_union: list[np.ndarray] = []
+        sent_union: list[int] = []
 
-        for (r, m), plan in reduce_plans.items():
-            if r != pid:
+        for (s, d), plan in plans.items():
+            if s != pid:
                 continue
             send_idx = plan.send_idx
             if cfg.update_only:
-                mask = dirty.bits[send_idx]
-                if not mask.any():
+                positions_l: list[int] = []
+                sel_l: list[int] = []
+                for i in range(len(send_idx)):
+                    if dirty.bits[send_idx[i]]:
+                        positions_l.append(i)
+                        sel_l.append(int(send_idx[i]))
+                if not sel_l:
                     continue
-                positions = np.flatnonzero(mask)
-                sel = send_idx[positions]
+                positions = np.asarray(positions_l, dtype=np.int64)
+                sel = np.asarray(sel_l, dtype=send_idx.dtype)
                 scanned = len(send_idx)
             else:
                 positions = None
                 sel = send_idx
                 scanned = 0
-            vals = labels[pid][sel].copy()
+            vals = np.asarray([lab[i] for i in sel], dtype=lab.dtype)
             out.append(
                 Message(
-                    header=MessageHeader(pid, m, "reduce", field),
+                    header=MessageHeader(pid, d, phase, field),
                     values=vals,
                     positions=positions,
                     exchange_len=len(send_idx),
                     explicit_ids=(
-                        part.local_to_global[sel]
+                        np.asarray(
+                            [part.local_to_global[i] for i in sel],
+                            dtype=part.local_to_global.dtype,
+                        )
                         if not cfg.memoize_addresses
                         else None
                     ),
                     scanned_elements=scanned,
                 )
             )
-            sent_union.append(sel)
+            sent_union.extend(int(i) for i in sel)
 
-        if sent_union:
-            sent = np.concatenate(sent_union)
-            dirty.clear(sent)
-            if spec.reset_after_reduce:
-                labels[pid][sent] = spec.identity
+        for i in sent_union:
+            dirty.bits[i] = False
+        if phase == "reduce" and spec.reset_after_reduce:
+            for i in sent_union:
+                lab[i] = spec.identity
         return out
+
+    # ------------------------------------------------------------------ #
+    # reduce
+    # ------------------------------------------------------------------ #
+    def make_reduce_messages(
+        self, field: str, pid: int, labels: list[np.ndarray]
+    ) -> list[Message]:
+        """Extract this partition's reduce messages (mirror -> master)."""
+        return self._extract(field, "reduce", pid, labels)
 
     def apply_reduce(
         self, msg: Message, labels: list[np.ndarray]
@@ -300,50 +515,7 @@ class GluonComm:
         self, field: str, pid: int, labels: list[np.ndarray]
     ) -> list[Message]:
         """Extract this partition's broadcast messages (master -> mirrors)."""
-        spec = self.fields[field]
-        _, broadcast_plans = self._plans[field]
-        cfg = self.config
-        part = self.pg.parts[pid]
-        dirty = self.updated[field][pid]
-        out: list[Message] = []
-        sent_union: list[np.ndarray] = []
-
-        for (m, r), plan in broadcast_plans.items():
-            if m != pid:
-                continue
-            send_idx = plan.send_idx
-            if cfg.update_only:
-                mask = dirty.bits[send_idx]
-                if not mask.any():
-                    continue
-                positions = np.flatnonzero(mask)
-                sel = send_idx[positions]
-                scanned = len(send_idx)
-            else:
-                positions = None
-                sel = send_idx
-                scanned = 0
-            out.append(
-                Message(
-                    header=MessageHeader(pid, r, "broadcast", field),
-                    values=labels[pid][sel].copy(),
-                    positions=positions,
-                    exchange_len=len(send_idx),
-                    explicit_ids=(
-                        part.local_to_global[sel]
-                        if not cfg.memoize_addresses
-                        else None
-                    ),
-                    scanned_elements=scanned,
-                )
-            )
-            sent_union.append(sel)
-
-        if sent_union:
-            # A master broadcasting to several grid-row partners clears its
-            # dirty bit only once all partners' messages are built.
-            dirty.clear(np.concatenate(sent_union))
-        return out
+        return self._extract(field, "broadcast", pid, labels)
 
     def apply_broadcast(
         self, msg: Message, labels: list[np.ndarray]

@@ -12,11 +12,14 @@ and "Min Wait" (time blocked on the network legs of straggling partners).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
-from repro.comm.buffers import Message
+import numpy as np
+
+from repro.comm.buffers import Message, batch_arrays
 from repro.hw.cluster import Cluster
 
-__all__ = ["LegTimes", "RoutedMessage", "Router"]
+__all__ = ["LegTimes", "BatchLegTimes", "RoutedMessage", "Router"]
 
 #: Device-side extraction rate for the UO prefix scan: proxies scanned per
 #: second.  Scanning is bandwidth-bound over the proxy array; the constant
@@ -41,6 +44,25 @@ class LegTimes:
     def device_legs(self) -> float:
         """The host-device portion — the paper's "Device Comm." bucket."""
         return self.d2h + self.h2d
+
+
+class BatchLegTimes(NamedTuple):
+    """Vectorized :class:`LegTimes` for a whole message batch.
+
+    Element ``i`` of every array prices ``messages[i]``; the values are
+    bit-identical to calling :meth:`Router.legs` /
+    :meth:`Router.extraction_time` / :meth:`Router.scaled_bytes` on each
+    message, just computed in one NumPy pass.  The engines aggregate these
+    arrays instead of looping per message.
+    """
+
+    src: np.ndarray  # sender pid per message
+    dst: np.ndarray  # receiver pid per message
+    d2h: np.ndarray  # device -> host PCIe seconds
+    inter: np.ndarray  # host -> host network seconds
+    h2d: np.ndarray  # host -> device PCIe seconds
+    extraction: np.ndarray  # UO extraction-scan seconds
+    scaled_bytes: np.ndarray  # paper-scale wire bytes
 
 
 @dataclass(frozen=True)
@@ -115,3 +137,85 @@ class Router:
     def route(self, msg: Message, depart: float) -> RoutedMessage:
         """Price and timestamp one message departing at ``depart``."""
         return RoutedMessage(message=msg, depart=depart, legs=self.legs(msg))
+
+    def price_batch(self, messages: list[Message]) -> BatchLegTimes:
+        """Price a whole message batch in one vectorized pass.
+
+        Replicates :meth:`legs` elementwise (same expressions, same
+        operation order, so the floats match the scalar path exactly) and
+        folds in :meth:`extraction_time` and :meth:`scaled_bytes`, which
+        the engines always need alongside the legs.
+        """
+        batch = batch_arrays(messages)
+        nbytes = batch.wire_bytes * self.volume_scale
+        elements = batch.num_elements * self.volume_scale
+        extraction = (
+            batch.scanned_elements * self.volume_scale / EXTRACTION_SCAN_RATE
+        )
+        c = self.cluster
+        host_of = np.asarray(c.host_of, dtype=np.int64)
+        same = host_of[batch.src] == host_of[batch.dst]
+        if c.gpudirect:
+            post = 8e-6
+            d2h = np.full(len(messages), post)
+            h2d = d2h.copy()
+            inter = np.where(
+                same,
+                c.intra_host.latency_s + nbytes / c.intra_host.bandwidth_bytes,
+                c.network.latency_s + nbytes / c.network.bandwidth_bytes,
+            )
+        else:
+            ser = elements / c.hosts[0].serialization_rate
+            pcie = c.pcie.latency_s + nbytes / c.pcie.bandwidth_bytes
+            d2h = pcie + ser
+            h2d = pcie + ser
+            inter = np.where(
+                same,
+                (c.intra_host.latency_s + nbytes / c.intra_host.bandwidth_bytes)
+                - c.intra_host.latency_s,
+                c.network.latency_s + nbytes / c.network.bandwidth_bytes,
+            )
+        loop = batch.src == batch.dst  # degenerate local loop-back: free
+        if loop.any():
+            d2h = np.where(loop, 0.0, d2h)
+            inter = np.where(loop, 0.0, inter)
+            h2d = np.where(loop, 0.0, h2d)
+        return BatchLegTimes(
+            src=batch.src,
+            dst=batch.dst,
+            d2h=d2h,
+            inter=inter,
+            h2d=h2d,
+            extraction=extraction,
+            scaled_bytes=nbytes,
+        )
+
+    def price_batch_scalar(self, messages: list[Message]) -> BatchLegTimes:
+        """Pre-vectorization reference for :meth:`price_batch`.
+
+        Prices each message individually through the scalar
+        :meth:`legs` / :meth:`extraction_time` / :meth:`scaled_bytes`
+        methods — the "before" leg of the regression bench, and the
+        oracle the batch pricer is differentially tested against.
+        """
+        n = len(messages)
+        src = np.empty(n, dtype=np.int64)
+        dst = np.empty(n, dtype=np.int64)
+        d2h = np.empty(n)
+        inter = np.empty(n)
+        h2d = np.empty(n)
+        extraction = np.empty(n)
+        scaled = np.empty(n)
+        for i, msg in enumerate(messages):
+            legs = self.legs(msg)
+            src[i] = msg.header.src
+            dst[i] = msg.header.dst
+            d2h[i] = legs.d2h
+            inter[i] = legs.inter
+            h2d[i] = legs.h2d
+            extraction[i] = self.extraction_time(msg)
+            scaled[i] = self.scaled_bytes(msg)
+        return BatchLegTimes(
+            src=src, dst=dst, d2h=d2h, inter=inter, h2d=h2d,
+            extraction=extraction, scaled_bytes=scaled,
+        )

@@ -242,22 +242,45 @@ class BASPEngine:
                     residual[p] = mout.residual
                     continue
                 labels = views[step.field]
+                if (
+                    not comm.config.update_only
+                    and not comm.pending_sends(step.field, step.kind, p)
+                ):
+                    # Async AS: there is no global round clock, so "send
+                    # every round" degenerates into message ping-pong that
+                    # never quiesces.  A partition therefore sends only
+                    # when the field was written since its last send (the
+                    # dirty bits are maintained under AS too); each send
+                    # still ships the full exchange list in AS's wire
+                    # format.
+                    continue
                 if step.kind == "reduce":
                     out_msgs += comm.make_reduce_messages(step.field, p, labels)
                 else:
                     out_msgs += comm.make_broadcast_messages(step.field, p, labels)
 
-            for msg in out_msgs:
-                legs = cost.legs(msg)
-                extract = cost.extraction_time(msg)
-                t += extract + legs.d2h
-                device_t[p] += extract + legs.d2h
-                stats.comm_volume_bytes += cost.message_bytes(msg)
-                stats.num_messages += 1
-                arrival = t + legs.inter
-                heapq.heappush(inbox[msg.header.dst], (arrival, seq, msg))
-                seq += 1
-                in_flight += 1
+            if out_msgs:
+                # price the batch in one vectorized pass; each message still
+                # departs after the previous one finished its extraction and
+                # D2H leg (the device link is serialized), so arrivals ride
+                # on the running prefix sum of those send-side costs.
+                if comm.use_scalar_extraction:
+                    pr = cost.price_batch_scalar(out_msgs)
+                else:
+                    pr = cost.price_batch(out_msgs)
+                send_cost = pr.extraction + pr.d2h
+                departs = t + np.cumsum(send_cost)
+                arrivals = departs + pr.inter
+                t = float(departs[-1])
+                device_t[p] += float(send_cost.sum())
+                stats.comm_volume_bytes += float(pr.scaled_bytes.sum())
+                stats.num_messages += len(out_msgs)
+                for i, msg in enumerate(out_msgs):
+                    heapq.heappush(
+                        inbox[msg.header.dst], (float(arrivals[i]), seq, msg)
+                    )
+                    seq += 1
+                    in_flight += 1
                 did_work = True
 
             if did_work or len(frontier):

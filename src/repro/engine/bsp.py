@@ -18,8 +18,6 @@ per-partition clock prices every phase on the simulated cluster:
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 import numpy as np
 
 from repro.comm.gluon import CommConfig, GluonComm
@@ -136,7 +134,8 @@ class BSPEngine:
                 edges += out.edges_processed
 
             # ---------------- sync plan -------------------------------- #
-            msgs_inter = defaultdict(float)  # (src,dst) -> summed inter leg
+            inter_m = np.zeros((P, P))  # (src,dst) -> summed inter legs
+            has_msg = np.zeros((P, P), dtype=bool)
             send_t = np.zeros(P)  # extraction + D2H, serialized per device
             recv_t = np.zeros(P)  # H2D, serialized per device
             n_msgs = 0
@@ -161,24 +160,41 @@ class BSPEngine:
 
                 field = step.field
                 labels = views[field]
+                # Extract every partition's messages first, then price the
+                # whole step in one vectorized pass.  Safe to reorder
+                # against the applies: extraction send sets (mirrors for
+                # reduce, masters for broadcast) are disjoint from apply
+                # target sets, so results are bit-identical to the
+                # extract/apply-per-partition interleaving.
+                msgs = []
                 for p in range(P):
                     if step.kind == "reduce":
-                        msgs = comm.make_reduce_messages(field, p, labels)
+                        msgs += comm.make_reduce_messages(field, p, labels)
                     else:
-                        msgs = comm.make_broadcast_messages(field, p, labels)
-                    for msg in msgs:
-                        legs = cost.legs(msg)
-                        send_t[p] += cost.extraction_time(msg) + legs.d2h
-                        recv_t[msg.header.dst] += legs.h2d
-                        msgs_inter[(p, msg.header.dst)] += legs.inter
-                        comm_bytes += cost.message_bytes(msg)
-                        n_msgs += 1
-                        if step.kind == "reduce":
-                            ch = comm.apply_reduce(msg, labels)
-                        else:
-                            ch = comm.apply_broadcast(msg, labels)
-                        if len(ch) and field in activating:
-                            candidates[msg.header.dst].append(ch)
+                        msgs += comm.make_broadcast_messages(field, p, labels)
+                if not msgs:
+                    continue
+                # Scalar-reference mode prices per message, like the
+                # pre-batching code; per-message Python otherwise survives
+                # only in the reduction-apply below, which must combine
+                # message-by-message.
+                if comm.use_scalar_extraction:
+                    pr = cost.price_batch_scalar(msgs)
+                else:
+                    pr = cost.price_batch(msgs)
+                np.add.at(send_t, pr.src, pr.extraction + pr.d2h)
+                np.add.at(recv_t, pr.dst, pr.h2d)
+                np.add.at(inter_m, (pr.src, pr.dst), pr.inter)
+                has_msg[pr.src, pr.dst] = True
+                comm_bytes += float(pr.scaled_bytes.sum())
+                n_msgs += len(msgs)
+                for msg in msgs:
+                    if step.kind == "reduce":
+                        ch = comm.apply_reduce(msg, labels)
+                    else:
+                        ch = comm.apply_broadcast(msg, labels)
+                    if len(ch) and field in activating:
+                        candidates[msg.header.dst].append(ch)
 
             # ---------------- round timing ------------------------------ #
             # with overlap, part of the host-device traffic hides under the
@@ -191,9 +207,10 @@ class BSPEngine:
             else:
                 eff_send, eff_recv = send_t, recv_t
             depart = compute_t + eff_send
-            arrive = depart.copy()
-            for (p, q), inter in msgs_inter.items():
-                arrive[q] = max(arrive[q], depart[p] + inter)
+            # arrive[q] = max(depart[q], max over senders p of
+            # depart[p] + inter_m[p, q]) — pairs without messages excluded
+            contrib = np.where(has_msg, depart[:, None] + inter_m, -np.inf)
+            arrive = np.maximum(depart, contrib.max(axis=0))
             ready = np.maximum(depart, arrive) + eff_recv
             duration = float(ready.max()) + cost.allreduce_time()
             wait = np.maximum(arrive - depart, 0.0)

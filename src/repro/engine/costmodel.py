@@ -86,6 +86,14 @@ class CostModel:
     def legs(self, msg: Message):
         return self.router.legs(msg)
 
+    def price_batch(self, msgs: list[Message]):
+        """Vectorized legs + extraction + bytes for a whole message batch."""
+        return self.router.price_batch(msgs)
+
+    def price_batch_scalar(self, msgs: list[Message]):
+        """Per-message reference pricing (pre-vectorization code path)."""
+        return self.router.price_batch_scalar(msgs)
+
     def allreduce_time(self) -> float:
         """Per-round global termination check across hosts."""
         h = self.cluster.num_hosts

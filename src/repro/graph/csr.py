@@ -50,7 +50,10 @@ class CSRGraph:
     parallel edges are permitted (real web crawls contain both).
     """
 
-    __slots__ = ("indptr", "indices", "weights", "_reverse", "_name")
+    __slots__ = (
+        "indptr", "indices", "weights", "_reverse", "_name",
+        "_out_degrees", "_in_degrees",
+    )
 
     def __init__(
         self,
@@ -87,6 +90,8 @@ class CSRGraph:
         self.indices = _freeze(indices)
         self._reverse: Optional["CSRGraph"] = None
         self._name = name
+        self._out_degrees: Optional[np.ndarray] = None
+        self._in_degrees: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -109,14 +114,20 @@ class CSRGraph:
         return self.weights is not None
 
     def out_degrees(self) -> np.ndarray:
-        """Out-degree of every vertex (``int64`` array, computed, O(|V|))."""
-        return np.diff(self.indptr)
+        """Out-degree of every vertex (``int64``, cached after first call)."""
+        if self._out_degrees is None:
+            self._out_degrees = _freeze(np.diff(self.indptr))
+        return self._out_degrees
 
     def in_degrees(self) -> np.ndarray:
-        """In-degree of every vertex (via bincount over destinations)."""
-        return np.bincount(self.indices, minlength=self.num_vertices).astype(
-            EID_DTYPE
-        )
+        """In-degree of every vertex (cached after first call)."""
+        if self._in_degrees is None:
+            self._in_degrees = _freeze(
+                np.bincount(
+                    self.indices, minlength=self.num_vertices
+                ).astype(EID_DTYPE)
+            )
+        return self._in_degrees
 
     def neighbors(self, v: int) -> np.ndarray:
         """Out-neighbors of ``v`` (a read-only view, no copy)."""

@@ -1,0 +1,69 @@
+"""Golden determinism suite: two identical runs must be bit-identical.
+
+The engines are deterministic discrete-event simulations; the vectorized
+comm substrate must preserve that.  For every study app under BSP and
+BASP, two runs built from scratch (fresh graphs, partitions, plan caches,
+and engines) must produce identical labels, round counts, and the full
+:class:`RunStats` record.  Any divergence means ordering leaked in — a
+dict iteration, an unstable sort, or a float reassociation.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.comm import CommConfig
+from repro.engine import BASPEngine, BSPEngine, RunContext
+from repro.generators import rmat
+from repro.graph.transform import add_random_weights, make_undirected
+from repro.hw import bridges
+from repro.partition import partition
+
+APPS = ("bfs", "cc", "kcore", "pr", "sssp")
+ENGINES = {"bsp": BSPEngine, "basp": BASPEngine}
+
+
+def _one_run(app_name: str, engine: str):
+    """Build everything from scratch and run once."""
+    g = add_random_weights(rmat(9, edge_factor=8, seed=3), seed=0)
+    sym = add_random_weights(make_undirected(g), seed=1)
+    app = get_app(app_name)
+    base = sym if app.needs_symmetric else g
+    ctx = RunContext(
+        num_global_vertices=base.num_vertices,
+        source=int(np.argmax(base.out_degrees())),
+        k=8,
+        global_out_degrees=base.out_degrees(),
+        global_degrees=sym.out_degrees(),
+    )
+    pg = partition(base, "cvc", 4, cache=False)
+    eng = ENGINES[engine](
+        pg, bridges(4), app,
+        comm_config=CommConfig(update_only=True),
+        check_memory=False,
+    )
+    return eng.run(ctx)
+
+
+def _assert_stats_identical(a, b):
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray):
+            np.testing.assert_array_equal(va, vb, err_msg=f.name)
+        else:
+            assert va == vb, f"{f.name}: {va!r} != {vb!r}"
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("app", APPS)
+def test_two_runs_identical(app, engine):
+    r1 = _one_run(app, engine)
+    r2 = _one_run(app, engine)
+    np.testing.assert_array_equal(r1.labels, r2.labels)
+    assert r1.stats.rounds == r2.stats.rounds
+    _assert_stats_identical(r1.stats, r2.stats)
+    assert set(r1.extra) == set(r2.extra)
+    for k in r1.extra:
+        np.testing.assert_array_equal(r1.extra[k], r2.extra[k])

@@ -1,0 +1,106 @@
+"""Units for the perf-baseline persistence and comparison logic.
+
+The regression harness's verdicts must themselves be trustworthy: exact
+metrics flag any change, simulated floats get a tight relative tolerance,
+wall-clock gets a loose slack factor (or is skipped), and schema drift is
+rejected loudly instead of diffing garbage.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.perfbaseline import (
+    CellResult,
+    compare_to_baseline,
+    load_baseline,
+    matrix_keys,
+    write_baseline,
+)
+
+
+def _cell(key="pr/cvc/bsp/uo", **over):
+    base = dict(
+        key=key, wall_seconds=0.05, sim_seconds=0.014, rounds=54,
+        messages=429, comm_bytes=3.4e5, work_items=1.2e6, labels_crc=12345,
+    )
+    base.update(over)
+    return CellResult(**base)
+
+
+def test_matrix_keys_cover_full_grid():
+    keys = matrix_keys()
+    assert len(keys) == len(set(keys)) == 3 * 2 * 2 * 2
+    assert "pr/cvc/bsp/uo" in keys
+
+
+def test_identical_runs_pass():
+    cur = {"a": _cell("a"), "b": _cell("b")}
+    base = {"a": _cell("a"), "b": _cell("b")}
+    assert compare_to_baseline(cur, base, wall_tolerance=2.0) == []
+
+
+def test_missing_and_extra_cells_flagged():
+    violations = compare_to_baseline(
+        {"a": _cell("a")}, {"b": _cell("b")}, wall_tolerance=None
+    )
+    assert any("b" in v and "missing" in v for v in violations)
+    assert any("a" in v and "not in baseline" in v for v in violations)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("rounds", 55),
+    ("messages", 430),
+    ("labels_crc", 99999),
+])
+def test_exact_metric_change_flagged(field, value):
+    violations = compare_to_baseline(
+        {"a": _cell("a", **{field: value})}, {"a": _cell("a")},
+        wall_tolerance=None,
+    )
+    assert len(violations) == 1 and field in violations[0]
+
+
+@pytest.mark.parametrize("field", ["sim_seconds", "comm_bytes", "work_items"])
+def test_simulated_float_tolerance(field):
+    base = {"a": _cell("a")}
+    within = {"a": _cell("a")}
+    setattr(within["a"], field, getattr(base["a"], field) * (1 + 1e-9))
+    assert compare_to_baseline(within, base, wall_tolerance=None) == []
+    drifted = {"a": _cell("a")}
+    setattr(drifted["a"], field, getattr(base["a"], field) * 1.01)
+    violations = compare_to_baseline(drifted, base, wall_tolerance=None)
+    assert len(violations) == 1 and field in violations[0]
+
+
+def test_wall_clock_slack_and_skip():
+    base = {"a": _cell("a", wall_seconds=0.1)}
+    slow = {"a": _cell("a", wall_seconds=0.9)}
+    violations = compare_to_baseline(slow, base, wall_tolerance=4.0)
+    assert len(violations) == 1 and "wall-clock" in violations[0]
+    # within slack, and skipped entirely with None
+    assert compare_to_baseline(slow, base, wall_tolerance=10.0) == []
+    assert compare_to_baseline(slow, base, wall_tolerance=None) == []
+    # wall-clock *improvement* never flags
+    fast = {"a": _cell("a", wall_seconds=0.001)}
+    assert compare_to_baseline(fast, base, wall_tolerance=4.0) == []
+
+
+def test_write_load_round_trip(tmp_path):
+    path = tmp_path / "BENCH_sync.json"
+    results = {"a": _cell("a"), "b": _cell("b", rounds=7)}
+    write_baseline(path, results, speedup={"speedup": 3.5})
+    back = load_baseline(path)
+    assert set(back) == {"a", "b"}
+    for k in results:
+        assert dataclasses.asdict(back[k]) == dataclasses.asdict(results[k])
+
+
+def test_schema_drift_rejected(tmp_path):
+    path = tmp_path / "BENCH_sync.json"
+    write_baseline(path, {"a": _cell("a")})
+    doc = path.read_text().replace('"schema": 1', '"schema": 99')
+    path.write_text(doc)
+    with pytest.raises(ConfigurationError):
+        load_baseline(path)
