@@ -1,6 +1,8 @@
-"""Performance-regression harness for the vectorized Gluon sync hot path.
+"""Performance-regression harness for the vectorized Gluon sync hot path
+and the parallel sweep runtime.
 
-Two guards, one committed baseline (``benchmarks/BENCH_sync.json``):
+Three guards, two committed baselines (``benchmarks/BENCH_sync.json``,
+``benchmarks/BENCH_sweep.json``):
 
 * the **workload matrix** — bfs/cc/pr x IEC/CVC x BSP/BASP x AS/UO on a
   seeded RMAT graph.  Simulated metrics (execution time, rounds, messages,
@@ -11,12 +13,18 @@ Two guards, one committed baseline (``benchmarks/BENCH_sync.json``):
   against the retained pre-vectorization reference path (per-element
   extraction + per-message pricing) must stay >= 3x, with identical
   deterministic metrics on both legs.
+* the **sweep runtime gate** — a fixed slice of the study fanned out
+  through the sweep executor.  Its deterministic per-cell records must
+  match ``BENCH_sweep.json`` (checked with ``--jobs 2`` so the process
+  pool itself is exercised, including in CI), and a warm partition cache
+  must make the sweep >= 2x faster than the cold serial first run, with
+  zero re-partitions (full mode only).
 
 Usage::
 
     python benchmarks/bench_regression.py               # full check
-    python benchmarks/bench_regression.py --check-only  # matrix only (CI)
-    python benchmarks/bench_regression.py --update      # regenerate baseline
+    python benchmarks/bench_regression.py --check-only  # deterministic only (CI)
+    python benchmarks/bench_regression.py --update      # regenerate baselines
 
 The module doubles as a pytest bench (``pytest benchmarks/bench_regression.py
 --benchmark-only``) that archives the regenerated table like the paper
@@ -32,16 +40,27 @@ import sys
 from benchmarks.conftest import archive
 from repro.metrics.perfbaseline import (
     SPEEDUP_MIN_RATIO,
+    SWEEP_SPEEDUP_MIN,
+    compare_sweep_to_baseline,
     compare_to_baseline,
     default_wall_tolerance,
     load_baseline,
+    load_sweep_baseline,
     measure_speedup,
+    measure_sweep_speedup,
     run_matrix,
+    run_sweep,
     write_baseline,
+    write_sweep_baseline,
 )
 from repro.study.report import format_table
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sync.json"
+SWEEP_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sweep.json"
+
+#: Worker count for the deterministic sweep check — 2 processes is enough
+#: to prove pool fan-out changes nothing, and stays CI-friendly.
+SWEEP_CHECK_JOBS = 2
 
 
 def _matrix_table(results) -> str:
@@ -72,6 +91,16 @@ def _speedup_line(sp: dict) -> str:
     )
 
 
+def _sweep_line(sp: dict) -> str:
+    return (
+        f"sweep runtime on {sp['dataset']} ({sp['cells']} cells): "
+        f"{sp['cold_wall_seconds']:.2f}s cold serial / "
+        f"{sp['warm_wall_seconds']:.2f}s warm cache @ --jobs {sp['jobs']} = "
+        f"{sp['speedup']:.2f}x (gate: >= {SWEEP_SPEEDUP_MIN:.1f}x; "
+        f"warm re-partitions: {sp['warm_partition_builds']})"
+    )
+
+
 # --------------------------------------------------------------------------- #
 # pytest bench entry points
 # --------------------------------------------------------------------------- #
@@ -91,6 +120,20 @@ def test_vectorization_speedup(once):
     assert sp["speedup"] >= SPEEDUP_MIN_RATIO, _speedup_line(sp)
 
 
+def test_sweep_matrix(once):
+    records, _, _ = once(lambda: run_sweep(jobs=SWEEP_CHECK_JOBS))
+    baseline = load_sweep_baseline(SWEEP_BASELINE_PATH)
+    violations = compare_sweep_to_baseline(records, baseline)
+    assert not violations, "\n".join(violations)
+
+
+def test_sweep_speedup(once):
+    sp = once(measure_sweep_speedup)
+    archive("regression_sweep", _sweep_line(sp))
+    assert sp["warm_partition_builds"] == 0, _sweep_line(sp)
+    assert sp["speedup"] >= SWEEP_SPEEDUP_MIN, _sweep_line(sp)
+
+
 # --------------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------------- #
@@ -102,8 +145,8 @@ def main(argv=None) -> int:
     )
     ap.add_argument(
         "--check-only", action="store_true",
-        help="matrix-vs-baseline check only; skip the speedup gate "
-             "(what CI runs)",
+        help="deterministic baseline checks only (sync matrix + sweep "
+             "records); skip the wall-clock speedup gates (what CI runs)",
     )
     ap.add_argument(
         "--wall-tol", type=float, default=None,
@@ -121,6 +164,13 @@ def main(argv=None) -> int:
         print(_speedup_line(speedup))
         write_baseline(BASELINE_PATH, results, speedup=speedup)
         print(f"baseline written to {BASELINE_PATH}")
+        sweep_records, _, _ = run_sweep(jobs=SWEEP_CHECK_JOBS)
+        sweep_sp = measure_sweep_speedup()
+        print(_sweep_line(sweep_sp))
+        write_sweep_baseline(
+            SWEEP_BASELINE_PATH, sweep_records, speedup=sweep_sp
+        )
+        print(f"sweep baseline written to {SWEEP_BASELINE_PATH}")
         return 0
 
     wall_tol = args.wall_tol
@@ -137,6 +187,19 @@ def main(argv=None) -> int:
     for v in violations:
         print(f"REGRESSION: {v}")
 
+    if SWEEP_BASELINE_PATH.exists():
+        sweep_records, _, _ = run_sweep(jobs=SWEEP_CHECK_JOBS)
+        sweep_violations = compare_sweep_to_baseline(
+            sweep_records, load_sweep_baseline(SWEEP_BASELINE_PATH)
+        )
+        for v in sweep_violations:
+            print(f"REGRESSION: {v}")
+        violations += sweep_violations
+    else:
+        print(f"no sweep baseline at {SWEEP_BASELINE_PATH}; "
+              "run with --update first")
+        return 2
+
     if not args.check_only:
         speedup = measure_speedup()
         print(_speedup_line(speedup))
@@ -144,6 +207,20 @@ def main(argv=None) -> int:
             violations.append(
                 f"speedup gate: {speedup['speedup']:.2f}x < "
                 f"{SPEEDUP_MIN_RATIO:.1f}x"
+            )
+            print(f"REGRESSION: {violations[-1]}")
+        sweep_sp = measure_sweep_speedup()
+        print(_sweep_line(sweep_sp))
+        if sweep_sp["warm_partition_builds"] != 0:
+            violations.append(
+                "sweep cache gate: warm sweep rebuilt "
+                f"{sweep_sp['warm_partition_builds']} partition(s)"
+            )
+            print(f"REGRESSION: {violations[-1]}")
+        if sweep_sp["speedup"] < SWEEP_SPEEDUP_MIN:
+            violations.append(
+                f"sweep runtime gate: {sweep_sp['speedup']:.2f}x < "
+                f"{SWEEP_SPEEDUP_MIN:.1f}x"
             )
             print(f"REGRESSION: {violations[-1]}")
 

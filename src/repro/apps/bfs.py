@@ -91,9 +91,27 @@ class DirectionOptBFS(BFS):
             return super().compute(part, ctx, state, frontier)
 
         # ---- pull round: unvisited scan their in-edges ------------------ #
-        rev = part.graph.reverse()
-        unvisited = np.flatnonzero(dist == INF)
-        unvisited = unvisited[rev.out_degrees()[unvisited] > 0]
+        # Per-partition pull invariants live in private state (leading
+        # underscore: never synchronized): the reverse graph, its degree
+        # array, and the shrinking pool of pull candidates.  Distances
+        # only ever drop below INF, so vertices leave the pool and never
+        # return — filtering last round's pool gives the same (sorted)
+        # unvisited set the full scans produced, without rescanning every
+        # local vertex each pull round.
+        cache = state.get("_do_pull")
+        if cache is None:
+            rev = part.graph.reverse()
+            rdeg = rev.out_degrees()
+            cache = state["_do_pull"] = {
+                "rev": rev,
+                "rdeg": rdeg,
+                "pool": np.flatnonzero(rdeg > 0),
+            }
+        rev = cache["rev"]
+        rdeg = cache["rdeg"]
+        pool = cache["pool"]
+        unvisited = pool[dist[pool] == INF]
+        cache["pool"] = unvisited
         rep, parents, _ = expand_frontier(rev, unvisited)
         if len(parents) == 0:
             return RoundOutput({"dist": _EMPTY}, _EMPTY, 0, np.zeros(0))
@@ -111,5 +129,5 @@ class DirectionOptBFS(BFS):
             updated={"dist": changed},
             activated=changed,
             edges_processed=len(parents),
-            frontier_degrees=rev.out_degrees()[unvisited].astype(np.float64),
+            frontier_degrees=rdeg[unvisited].astype(np.float64),
         )

@@ -56,13 +56,23 @@ class BASPEngine:
         throttle_wait: float = 0.0,
         poll_interval: float = 1e-3,
         fault_plan=None,
+        executor: str = "serial",
     ):
         """``throttle_wait`` implements the paper's proposed *dynamic
         throttling* of asynchronous execution (Section VII): before each
         local round a partition lingers this many (simulated) seconds so
         more partner messages arrive, trading blocked time for less
         redundant computation from stale reads.  ``0`` (the default) is
-        unthrottled BASP as shipped in D-IrGL."""
+        unthrottled BASP as shipped in D-IrGL.
+
+        ``executor="threads"`` dispatches *provably independent* local
+        rounds concurrently: when every runnable partition at the minimal
+        local time has no drainable message, their rounds read and write
+        disjoint state (messages they emit arrive strictly later than the
+        shared clock because ``poll_interval > 0``), so running them on a
+        thread pool and applying the shared effects (sequence numbers,
+        inbox pushes, statistics) in partition order replays the serial
+        event order exactly — runs stay bit-identical to serial."""
         if not app.async_capable:
             raise ConfigurationError(
                 f"{app.name} cannot run bulk-asynchronously"
@@ -85,6 +95,11 @@ class BASPEngine:
         #: rather than waking per message.
         self.poll_interval = float(poll_interval)
         self.fault_plan = fault_plan
+        if executor not in ("serial", "threads"):
+            raise ConfigurationError(
+                f"executor must be 'serial' or 'threads', got {executor!r}"
+            )
+        self.executor = executor
 
     # ------------------------------------------------------------------ #
     def run(self, ctx: RunContext) -> RunResult:
@@ -143,6 +158,99 @@ class BASPEngine:
         def _topo_done(p: int) -> bool:
             return residual[p] < ctx.tolerance
 
+        # Threaded dispatch applies only when the shared clock can prove
+        # independence: no fault injection (checks must interleave with
+        # events), no throttle (it slides the drain horizon past peers'
+        # arrivals), and a positive poll interval (it guarantees messages
+        # emitted at the batch time arrive strictly later).
+        use_threads = (
+            self.executor == "threads"
+            and self.fault_plan is None
+            and self.throttle_wait == 0.0
+            and self.poll_interval > 0.0
+        )
+
+        def independent_round(p: int):
+            """One local round for a partition whose inbox has nothing at
+            or before its local time.  Reads and writes only partition-
+            local state (``state[p]``, ``pending[p]``, per-partition dirty
+            bits and clocks); shared effects — sequence numbers, inbox
+            pushes, global statistics — are returned for the caller to
+            apply in partition order, replaying the serial event order."""
+            t = float(local_time[p])
+            part = pg.parts[p]
+            if topology:
+                frontier = app.initial_frontier(part, ctx, state[p])
+                pending[p] = []
+            else:
+                bufs = [a for a in pending[p] if len(a)]
+                pending[p] = []
+                if bufs:
+                    candv = np.unique(np.concatenate(bufs))
+                    frontier = app.frontier_filter(part, ctx, state[p], candv)
+                else:
+                    frontier = _EMPTY
+            t += self.poll_interval
+            did_work = False
+            edges = 0
+            if len(frontier):
+                out = app.compute(part, ctx, state[p], frontier)
+                for fname, ids in out.updated.items():
+                    if len(ids):
+                        comm.mark_updated(fname, p, ids)
+                if len(out.activated):
+                    pending[p].append(out.activated)
+                dt = cost.compute_time(p, out.frontier_degrees)
+                t += dt
+                compute_t[p] += dt
+                edges = out.edges_processed
+                did_work = True
+            out_msgs = []
+            for step in plan:
+                if step.kind == "master":
+                    mout = app.master_compute(part, ctx, state[p])
+                    for fname, ids in mout.updated.items():
+                        if len(ids):
+                            comm.mark_updated(fname, p, ids)
+                    if len(mout.activated):
+                        pending[p].append(mout.activated)
+                    touched = sum(len(i) for i in mout.updated.values())
+                    if touched:
+                        dt = cost.master_time(p, touched)
+                        t += dt
+                        compute_t[p] += dt
+                        did_work = True
+                    residual[p] = mout.residual
+                    continue
+                labels = views[step.field]
+                if (
+                    not comm.config.update_only
+                    and not comm.pending_sends(step.field, step.kind, p)
+                ):
+                    continue
+                if step.kind == "reduce":
+                    out_msgs += comm.make_reduce_messages(step.field, p, labels)
+                else:
+                    out_msgs += comm.make_broadcast_messages(
+                        step.field, p, labels
+                    )
+            pr = arrivals = None
+            if out_msgs:
+                if comm.use_scalar_extraction:
+                    pr = cost.price_batch_scalar(out_msgs)
+                else:
+                    pr = cost.price_batch(out_msgs)
+                send_cost = pr.extraction + pr.d2h
+                departs = t + np.cumsum(send_cost)
+                arrivals = departs + pr.inter
+                t = float(departs[-1])
+                device_t[p] += float(send_cost.sum())
+                did_work = True
+            had_frontier = bool(len(frontier))
+            if topology and not did_work and not had_frontier:
+                residual[p] = 0.0
+            return t, out_msgs, arrivals, pr, edges, did_work, had_frontier
+
         while True:
             cand = [p for p in range(P) if runnable(p)]
             if not cand:
@@ -158,6 +266,46 @@ class BASPEngine:
                 wait_t[q] += max(nxt - local_time[q], 0.0)
                 local_time[q] = max(local_time[q], nxt)
                 continue
+
+            if use_threads and len(cand) > 1:
+                tmin = min(local_time[q] for q in cand)
+                group = sorted(q for q in cand if local_time[q] == tmin)
+                if len(group) > 1 and all(
+                    not inbox[q] or inbox[q][0][0] > tmin for q in group
+                ):
+                    # Serial execution would run exactly these partitions
+                    # back to back (ascending pid), none draining anything:
+                    # their rounds are pairwise independent, so run them
+                    # concurrently and replay the shared effects in pid
+                    # order for a bit-identical schedule.
+                    from repro.runtime.executors import thread_map
+
+                    results = thread_map(independent_round, group)
+                    for q, (
+                        t, out_msgs, arrivals, pr, edges, did_work, had_f
+                    ) in zip(group, results):
+                        stats.work_items += edges
+                        if out_msgs:
+                            stats.comm_volume_bytes += float(
+                                pr.scaled_bytes.sum()
+                            )
+                            stats.num_messages += len(out_msgs)
+                            for i, msg in enumerate(out_msgs):
+                                heapq.heappush(
+                                    inbox[msg.header.dst],
+                                    (float(arrivals[i]), seq, msg),
+                                )
+                                seq += 1
+                                in_flight += 1
+                        if did_work or had_f:
+                            local_rounds[q] += 1
+                        local_time[q] = t
+                        if local_rounds.sum() > max_local_rounds:
+                            raise ConvergenceError(
+                                f"{app.name} (BASP) exceeded "
+                                f"{max_local_rounds} local rounds"
+                            )
+                    continue
 
             p = min(cand, key=lambda i: (local_time[i], i))
             if self.fault_plan is not None:

@@ -101,9 +101,14 @@ class Framework(ABC):
         num_gpus: int,
         platform: str | Cluster = "bridges",
         check_memory: bool = True,
+        engine_executor: str = "serial",
         **ctx_overrides,
     ) -> RunResult:
         """Run one benchmark the way this framework would.
+
+        ``engine_executor`` selects the engine's compute-phase dispatch
+        (``"serial"`` or ``"threads"``); results are bit-identical either
+        way (see the engine docstrings).
 
         Raises
         ------
@@ -133,6 +138,7 @@ class Framework(ABC):
             scale_factor=dataset.scale_factor,
             memory_profile=self.memory_profile,
             check_memory=check_memory,
+            executor=engine_executor,
         )
         result = engine.run(ctx)
         result.stats.benchmark = app_name

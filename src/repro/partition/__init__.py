@@ -10,7 +10,8 @@ from repro.partition.xtrapulp_like import xtrapulp_like
 from repro.partition.jagged import jagged
 from repro.partition.io import load_partitions, save_partitions
 from repro.partition.stats import PartitionStats, partition_stats
-from repro.partition.cusp import POLICIES, partition
+from repro.partition.cache import CacheStats, PartitionCache, get_cache
+from repro.partition.cusp import POLICIES, clear_partition_cache, partition
 
 __all__ = [
     "LocalPartition",
@@ -30,4 +31,8 @@ __all__ = [
     "partition_stats",
     "POLICIES",
     "partition",
+    "clear_partition_cache",
+    "CacheStats",
+    "PartitionCache",
+    "get_cache",
 ]

@@ -1,0 +1,194 @@
+"""Partition cache: in-memory LRU plus optional disk store.
+
+The paper partitions each graph once per (policy, host count) and reuses
+the partitions across every experiment (Section IV, footnote 2).  The
+study harness previously re-partitioned per cell; this module memoizes
+:class:`~repro.partition.base.PartitionedGraph` objects keyed by the
+*content* of the graph plus ``(policy, num_partitions)``, so
+
+* repeated cells in one process hit an in-memory LRU,
+* parallel sweep workers (and later runs) hit a shared ``cache_dir`` of
+  ``.npz`` files written with :mod:`repro.partition.io`.
+
+``grid`` is not part of the key: every policy derives its grid
+deterministically from ``num_partitions``, so it is implied by the key
+and round-trips through the serialized file.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import PartitionedGraph
+from repro.partition.io import load_partitions, save_partitions
+
+__all__ = [
+    "CacheStats",
+    "PartitionCache",
+    "get_cache",
+    "configure",
+    "clear",
+]
+
+log = logging.getLogger("repro.partition.cache")
+
+
+@dataclass
+class CacheStats:
+    """Counters for observing cache effectiveness (acceptance gate:
+    a warm second sweep must show ``builds == 0``)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    builds: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            self.memory_hits, self.disk_hits, self.builds, self.stores
+        )
+
+
+@dataclass
+class PartitionCache:
+    """LRU of partitionings, optionally backed by a directory of ``.npz``.
+
+    Thread-safe for concurrent lookups; a build that races another thread
+    on the same key may run twice (both results are identical, last one
+    wins in the LRU), which keeps the lock off the expensive build path.
+    """
+
+    max_entries: int = 64
+    cache_dir: str | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._lru: OrderedDict[tuple, PartitionedGraph] = OrderedDict()
+        self._lock = threading.Lock()
+        if self.cache_dir:
+            os.makedirs(self.cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_for(
+        graph: CSRGraph, policy: str, num_partitions: int
+    ) -> tuple[str, str, int]:
+        return (graph.content_hash(), policy, num_partitions)
+
+    def _disk_path(self, key: tuple[str, str, int]) -> str | None:
+        if not self.cache_dir:
+            return None
+        h, policy, P = key
+        return os.path.join(self.cache_dir, f"{h[:16]}_{policy}_{P}.npz")
+
+    # ------------------------------------------------------------------ #
+    def lookup_or_build(
+        self, graph: CSRGraph, policy: str, num_partitions: int, builder
+    ) -> PartitionedGraph:
+        """Return a cached partitioning or build (and cache) a fresh one.
+
+        ``builder`` is called as ``builder(graph, num_partitions)`` only on
+        a full miss.
+        """
+        key = self.key_for(graph, policy, num_partitions)
+        with self._lock:
+            pg = self._lru.get(key)
+            if pg is not None:
+                self._lru.move_to_end(key)
+                self.stats.memory_hits += 1
+                return pg
+        path = self._disk_path(key)
+        if path and os.path.exists(path):
+            try:
+                pg = load_partitions(path, graph)
+            except Exception:  # corrupt/stale file: rebuild below
+                log.warning("discarding unreadable cache file %s", path)
+            else:
+                self.stats.disk_hits += 1
+                self._remember(key, pg)
+                return pg
+        pg = builder(graph, num_partitions)
+        self.stats.builds += 1
+        self._remember(key, pg)
+        if path:
+            self._store(path, pg)
+        return pg
+
+    def _remember(self, key: tuple, pg: PartitionedGraph) -> None:
+        with self._lock:
+            self._lru[key] = pg
+            self._lru.move_to_end(key)
+            while len(self._lru) > self.max_entries:
+                self._lru.popitem(last=False)
+
+    def _store(self, path: str, pg: PartitionedGraph) -> None:
+        """Atomic write: tmp file in the same directory, then replace."""
+        try:
+            # suffix must end in .npz or np.savez would append it and write
+            # to a different path than we later os.replace() from
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp.npz"
+            )
+            os.close(fd)
+            try:
+                # uncompressed: cache files are re-read far more often
+                # than written, and decompression dominated warm loads
+                save_partitions(pg, tmp, compress=False)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError as e:  # disk full / permissions: cache is best-effort
+            log.warning("could not persist partitions to %s: %s", path, e)
+            return
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------ #
+    def clear_memory(self) -> None:
+        with self._lock:
+            self._lru.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+
+# ---------------------------------------------------------------------- #
+# process-global instance (what repro.partition.partition() uses)
+# ---------------------------------------------------------------------- #
+_global_cache = PartitionCache()
+
+
+def get_cache() -> PartitionCache:
+    """The process-wide cache used by :func:`repro.partition.partition`."""
+    return _global_cache
+
+
+def configure(
+    cache_dir: str | None = None, max_entries: int | None = None
+) -> PartitionCache:
+    """Reconfigure the global cache (keeps accumulated stats at zero).
+
+    Called by the sweep runtime's worker initializer so every worker in a
+    pool shares one on-disk store.
+    """
+    global _global_cache
+    _global_cache = PartitionCache(
+        max_entries=(
+            max_entries if max_entries is not None else _global_cache.max_entries
+        ),
+        cache_dir=cache_dir,
+    )
+    return _global_cache
+
+
+def clear() -> None:
+    """Drop in-memory entries and reset counters (disk files survive)."""
+    _global_cache.clear_memory()
+    _global_cache.stats = CacheStats()

@@ -12,12 +12,12 @@ footnote 2).
 
 from __future__ import annotations
 
-import functools
 from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.partition.base import PartitionedGraph
+from repro.partition.cache import get_cache
 from repro.partition.cvc import cvc
 from repro.partition.edgecut import iec, oec
 from repro.partition.hvc import hvc
@@ -40,11 +40,6 @@ POLICIES: dict[str, Callable[[CSRGraph, int], PartitionedGraph]] = {
 }
 
 
-@functools.lru_cache(maxsize=64)
-def _partition_cached(graph: CSRGraph, policy: str, num_partitions: int) -> PartitionedGraph:
-    return POLICIES[policy](graph, num_partitions)
-
-
 def partition(
     graph: CSRGraph,
     policy: str,
@@ -58,9 +53,11 @@ def partition(
     policy:
         one of ``oec``, ``iec``, ``hvc``, ``cvc``, ``random``, ``metis-like``.
     cache:
-        reuse a previously computed partitioning of the same graph object
-        (graphs are immutable, so this is safe and mirrors partition reuse
-        across the paper's experiments).
+        reuse a previously computed partitioning of a content-identical
+        graph via :mod:`repro.partition.cache` (graphs are immutable, so
+        this is safe and mirrors partition reuse across the paper's
+        experiments; with a configured ``cache_dir`` the reuse extends
+        across processes and runs).
     """
     if policy not in POLICIES:
         raise ConfigurationError(
@@ -69,10 +66,14 @@ def partition(
     if num_partitions < 1:
         raise ConfigurationError("need at least one partition")
     if cache:
-        return _partition_cached(graph, policy, num_partitions)
+        return get_cache().lookup_or_build(
+            graph, policy, num_partitions, POLICIES[policy]
+        )
     return POLICIES[policy](graph, num_partitions)
 
 
 def clear_partition_cache() -> None:
     """Drop cached partitionings (tests / memory pressure)."""
-    _partition_cached.cache_clear()
+    from repro.partition.cache import clear
+
+    clear()

@@ -24,8 +24,15 @@ __all__ = ["save_partitions", "load_partitions"]
 _MAGIC = "repro-partitions-v1"
 
 
-def save_partitions(pg: PartitionedGraph, path: str | os.PathLike) -> None:
-    """Write every partition's structure to a compressed ``.npz``."""
+def save_partitions(
+    pg: PartitionedGraph, path: str | os.PathLike, compress: bool = True
+) -> None:
+    """Write every partition's structure to one ``.npz``.
+
+    ``compress=False`` trades file size for (de)serialization speed — the
+    partition cache uses it because cache files are scratch state that is
+    re-read far more often than it is shipped anywhere.
+    """
     payload: dict = {
         "magic": np.array(_MAGIC),
         "policy": np.array(pg.policy),
@@ -47,7 +54,10 @@ def save_partitions(pg: PartitionedGraph, path: str | os.PathLike) -> None:
             payload[f"{key}mx_{q}"] = idx
         for q, idx in p.master_exchange.items():
             payload[f"{key}sx_{q}"] = idx
-    np.savez_compressed(path, **payload)
+    if compress:
+        np.savez_compressed(path, **payload)
+    else:
+        np.savez(path, **payload)
 
 
 def load_partitions(

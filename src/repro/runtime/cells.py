@@ -1,0 +1,207 @@
+"""Picklable study-cell specifications and the worker-side runner.
+
+The study drivers historically passed zero-argument framework factories
+(lambdas) around; those cannot cross a process boundary.  This module
+defines data-only equivalents:
+
+* :class:`SystemSpec` — how to build a framework facade (variant name,
+  D-IrGL configuration, or registry framework) from plain values;
+* :class:`CellSpec` — one benchmark run (system x benchmark x dataset x
+  GPU count x platform);
+* :class:`PartitionStatsSpec` — one partitioning-statistics measurement
+  (Table IV's static-balance column, the replication table);
+* :class:`CellOutcome` — the structured result either task kind returns,
+  including the failure taxonomy the drivers already use (OOM /
+  unsupported / crash) and a per-cell partition-build counter.
+
+:func:`run_task` executes one spec in the current process; the sweep
+executor ships specs to pool workers and calls it there.  Datasets come
+from the ``lru_cache``'d loader and partitions from the content-hash
+partition cache, so a worker that processes many cells of one dataset
+pays for loading and partitioning once.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
+
+__all__ = [
+    "SystemSpec",
+    "CellSpec",
+    "PartitionStatsSpec",
+    "CellOutcome",
+    "run_task",
+]
+
+
+def _kw(kwargs: dict) -> tuple:
+    """Normalize a kwargs dict into a hashable, picklable tuple."""
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A framework facade as data: ``build()`` re-creates it anywhere.
+
+    ``kind`` is one of ``"variant"`` (``repro.study.variants``),
+    ``"dirgl"`` (a ``DIrGL(**kwargs)`` configuration), or ``"framework"``
+    (the :data:`repro.frameworks.FRAMEWORKS` registry).
+    """
+
+    kind: str
+    args: tuple = ()
+    kwargs: tuple = ()
+
+    @classmethod
+    def variant(cls, name: str, policy: str = "iec") -> "SystemSpec":
+        return cls("variant", (name,), _kw({"policy": policy}))
+
+    @classmethod
+    def dirgl(cls, **kwargs: Any) -> "SystemSpec":
+        return cls("dirgl", (), _kw(kwargs))
+
+    @classmethod
+    def framework(cls, name: str, **kwargs: Any) -> "SystemSpec":
+        return cls("framework", (name,), _kw(kwargs))
+
+    def build(self):
+        kwargs = dict(self.kwargs)
+        if self.kind == "variant":
+            from repro.study.variants import make_variant
+
+            return make_variant(*self.args, **kwargs)
+        if self.kind == "dirgl":
+            from repro.frameworks.dirgl import DIrGL
+
+            return DIrGL(*self.args, **kwargs)
+        if self.kind == "framework":
+            from repro.frameworks.registry import get_framework
+
+            return get_framework(*self.args, **kwargs)
+        raise ValueError(f"unknown SystemSpec kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One study cell: run ``benchmark`` on ``dataset`` with ``system``."""
+
+    key: Any
+    system: SystemSpec
+    benchmark: str
+    dataset: str
+    num_gpus: int
+    platform: str = "bridges"
+    check_memory: bool = True
+    ctx_overrides: tuple = ()
+    engine_executor: str = "serial"
+    keep_labels: bool = False
+
+
+@dataclass(frozen=True)
+class PartitionStatsSpec:
+    """One partition-structure measurement (no engine run)."""
+
+    key: Any
+    dataset: str
+    policy: str
+    num_gpus: int
+    symmetric: bool = False
+
+
+@dataclass
+class CellOutcome:
+    """Structured result of one task; ``failure_kind`` mirrors the
+    exception taxonomy the study drivers record as missing points."""
+
+    key: Any
+    stats: Any = None  # RunStats for CellSpec tasks
+    pstats: Any = None  # PartitionStats for PartitionStatsSpec tasks
+    failure: str = ""
+    failure_kind: str = ""  # "" | "oom" | "unsupported" | "error"
+    elapsed: float = 0.0
+    partition_builds: int = 0
+    labels_crc: Optional[int] = None
+    labels: Optional[np.ndarray] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure_kind == ""
+
+    def failure_label(self) -> str:
+        """The driver-facing failure string (matches ``ScalingPoint``)."""
+        if self.failure_kind in ("oom", "unsupported"):
+            return f"{self.failure_kind}: {self.failure}"
+        return self.failure
+
+    def raise_failure(self) -> None:
+        """Re-raise the recorded failure with its original exception type
+        (for drivers that historically let the exception propagate)."""
+        if self.failure_kind == "oom":
+            args = self.extra.get("oom_args")
+            if args is not None:
+                raise SimulatedOOMError(*args)
+            raise ReproError(self.failure)
+        if self.failure_kind == "unsupported":
+            raise UnsupportedFeatureError(self.failure)
+        if self.failure_kind:
+            raise ReproError(self.failure)
+
+
+def run_task(spec: CellSpec | PartitionStatsSpec) -> CellOutcome:
+    """Execute one spec in this process, catching the simulated-failure
+    hierarchy exactly as the serial drivers do.  Non-``ReproError``
+    exceptions propagate: those are bugs, not missing data points."""
+    from repro.generators.datasets import load_dataset
+    from repro.partition import partition, partition_stats
+    from repro.partition.cache import get_cache
+
+    t0 = time.perf_counter()
+    builds0 = get_cache().stats.builds
+    out = CellOutcome(key=spec.key)
+    try:
+        ds = load_dataset(spec.dataset)
+        if isinstance(spec, PartitionStatsSpec):
+            graph = ds.symmetric() if spec.symmetric else ds.graph
+            out.pstats = partition_stats(
+                partition(graph, spec.policy, spec.num_gpus)
+            )
+        else:
+            fw = spec.system.build()
+            res = fw.run(
+                spec.benchmark,
+                ds,
+                spec.num_gpus,
+                platform=spec.platform,
+                check_memory=spec.check_memory,
+                engine_executor=spec.engine_executor,
+                **dict(spec.ctx_overrides),
+            )
+            out.stats = res.stats
+            out.labels_crc = int(
+                zlib.crc32(np.ascontiguousarray(res.labels).tobytes())
+            )
+            if spec.keep_labels:
+                out.labels = res.labels
+                out.extra = res.extra
+    except SimulatedOOMError as e:
+        out.failure, out.failure_kind = str(e), "oom"
+        # Keep the constructor args so raise_failure can rebuild the
+        # exact exception (its __init__ does not take a message string).
+        out.extra = {
+            "oom_args": (e.gpu_index, e.required_bytes, e.capacity_bytes)
+        }
+    except UnsupportedFeatureError as e:
+        out.failure, out.failure_kind = str(e), "unsupported"
+    except ReproError as e:
+        out.failure, out.failure_kind = str(e), "error"
+    out.partition_builds = get_cache().stats.builds - builds0
+    out.elapsed = time.perf_counter() - t0
+    return out

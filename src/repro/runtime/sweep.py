@@ -1,0 +1,166 @@
+"""The sweep executor: fan study cells out over a process pool.
+
+Cells are independent (each loads its dataset, partitions via the shared
+partition cache, and runs one engine), so the sweep is embarrassingly
+parallel.  The executor preserves the *submission order* of results —
+drivers iterate outcomes exactly as they would have iterated their
+nested loops — while completing cells in any order underneath.
+
+Worker processes are initialized once with the sweep's partition cache
+directory; combined with the ``lru_cache``'d dataset loader and the
+in-memory partition LRU, a worker that draws many cells of one dataset
+loads and partitions it once.  With the (default, where available)
+``fork`` start method, workers also inherit every dataset and partition
+already warm in the parent.
+
+``jobs <= 1`` runs everything serially in-process (no pool, identical
+results); a broken pool (a worker killed by the OS) degrades to the same
+serial path for the cells that remain unaccounted for.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.runtime.cells import CellOutcome, CellSpec, PartitionStatsSpec, run_task
+
+__all__ = ["SweepExecutor", "default_start_method"]
+
+log = logging.getLogger("repro.runtime.sweep")
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, inherits warm caches), else the
+    platform default.  ``REPRO_SWEEP_START_METHOD`` overrides."""
+    env = os.environ.get("REPRO_SWEEP_START_METHOD")
+    if env:
+        return env
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    from repro.partition.cache import configure, get_cache
+
+    if cache_dir is not None and get_cache().cache_dir != cache_dir:
+        configure(cache_dir=cache_dir)
+
+
+class SweepExecutor:
+    """Runs study cells, serially or over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        worker processes; ``<= 1`` means serial in-process execution.
+    cache_dir:
+        partition-cache directory shared by the parent and every worker
+        (``None`` keeps the cache in-memory-only per process).
+    engine_executor:
+        compute-phase dispatch stamped onto every :class:`CellSpec`
+        (``"serial"`` or ``"threads"``); results are bit-identical.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        engine_executor: str = "serial",
+        start_method: Optional[str] = None,
+    ):
+        self.jobs = int(jobs)
+        self.cache_dir = cache_dir
+        self.engine_executor = engine_executor
+        self.start_method = start_method or default_start_method()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # the parent process shares the same disk store so serial runs,
+        # fallbacks, and pool workers all hit one set of files
+        _worker_init(cache_dir)
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # never run more workers than cores: the cells are pure CPU,
+            # so oversubscription only adds fork and scheduling overhead
+            workers = max(1, min(self.jobs, os.cpu_count() or self.jobs))
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context(self.start_method),
+                initializer=_worker_init,
+                initargs=(self.cache_dir,),
+            )
+        return self._pool
+
+    def _prepare(self, spec):
+        if (
+            isinstance(spec, CellSpec)
+            and self.engine_executor != "serial"
+            and spec.engine_executor == "serial"
+        ):
+            return replace(spec, engine_executor=self.engine_executor)
+        return spec
+
+    # ------------------------------------------------------------------ #
+    def map(
+        self, specs: Sequence[CellSpec | PartitionStatsSpec]
+    ) -> list[CellOutcome]:
+        """Run every spec; outcomes come back in submission order."""
+        specs = [self._prepare(s) for s in specs]
+        if self.jobs <= 1 or len(specs) <= 1:
+            return self._map_serial(specs)
+        try:
+            return self._map_pool(specs)
+        except BrokenProcessPool:
+            log.warning(
+                "process pool broke (worker died); falling back to serial"
+            )
+            self.close()
+            return self._map_serial(specs)
+
+    def _map_serial(self, specs) -> list[CellOutcome]:
+        results = []
+        for i, spec in enumerate(specs):
+            out = run_task(spec)
+            self._log_progress(i + 1, len(specs), out)
+            results.append(out)
+        return results
+
+    def _map_pool(self, specs) -> list[CellOutcome]:
+        pool = self._get_pool()
+        index_of = {pool.submit(run_task, s): i for i, s in enumerate(specs)}
+        results: list[Optional[CellOutcome]] = [None] * len(specs)
+        done = 0
+        pending = set(index_of)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                out = fut.result()  # raises on real bugs / broken pool
+                results[index_of[fut]] = out
+                done += 1
+                self._log_progress(done, len(specs), out)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _log_progress(done: int, total: int, out: CellOutcome) -> None:
+        status = "ok" if out.ok else out.failure_kind or "error"
+        log.info(
+            "[%d/%d] %s %s (%.1fs)", done, total, out.key, status, out.elapsed
+        )

@@ -13,9 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.generators.datasets import Dataset
-from repro.partition import partition, partition_stats
+from repro.runtime.cells import CellSpec, PartitionStatsSpec, SystemSpec
 from repro.study.report import format_table
-from repro.study.variants import make_variant
 
 __all__ = [
     "MessageSizeReduction",
@@ -43,17 +42,38 @@ class MessageSizeReduction:
         return self.as_avg_bytes / max(self.uo_avg_bytes, 1.0)
 
 
+def _run_cells(specs, executor):
+    """Run cells, re-raising any failure (these drivers have no missing-
+    point semantics: a failed run is a bug or a genuinely unsupported ask,
+    and historically propagated to the caller)."""
+    if executor is None:
+        from repro.runtime.sweep import SweepExecutor
+
+        executor = SweepExecutor(jobs=1)
+    outcomes = {}
+    for o in executor.map(specs):
+        o.raise_failure()
+        outcomes[o.key] = o
+    return outcomes
+
+
 def message_size_reduction(
-    benchmark: str, dataset: Dataset, num_gpus: int = 32
+    benchmark: str, dataset: Dataset, num_gpus: int = 32, executor=None
 ) -> MessageSizeReduction:
     """Measure the AS->UO average-message-size drop for one workload."""
-    results = {}
-    for name in ("var2", "var3"):
-        res = make_variant(name).run(
-            benchmark, dataset, num_gpus, check_memory=False
+    specs = [
+        CellSpec(
+            key=name,
+            system=SystemSpec.variant(name),
+            benchmark=benchmark,
+            dataset=dataset.name,
+            num_gpus=num_gpus,
+            check_memory=False,
         )
-        results[name] = res.stats
-    a, u = results["var2"], results["var3"]
+        for name in ("var2", "var3")
+    ]
+    outcomes = _run_cells(specs, executor)
+    a, u = outcomes["var2"].stats, outcomes["var3"].stats
     return MessageSizeReduction(
         benchmark=benchmark,
         dataset=dataset.name,
@@ -84,33 +104,50 @@ class AsyncInflation:
 
 
 def async_work_inflation(
-    benchmark: str, dataset: Dataset, num_gpus: int = 64
+    benchmark: str, dataset: Dataset, num_gpus: int = 64, executor=None
 ) -> AsyncInflation:
     """Measure the redundant work bulk-asynchronous execution performs."""
-    sync = make_variant("var3").run(
-        benchmark, dataset, num_gpus, check_memory=False
-    )
-    asy = make_variant("var4").run(
-        benchmark, dataset, num_gpus, check_memory=False
-    )
+    specs = [
+        CellSpec(
+            key=name,
+            system=SystemSpec.variant(name),
+            benchmark=benchmark,
+            dataset=dataset.name,
+            num_gpus=num_gpus,
+            check_memory=False,
+        )
+        for name in ("var3", "var4")
+    ]
+    outcomes = _run_cells(specs, executor)
+    sync, asy = outcomes["var3"].stats, outcomes["var4"].stats
     return AsyncInflation(
         benchmark=benchmark,
         dataset=dataset.name,
         num_gpus=num_gpus,
-        sync_rounds=sync.stats.rounds,
-        async_min_rounds=asy.stats.local_rounds_min,
-        async_max_rounds=asy.stats.local_rounds_max,
-        sync_work=sync.stats.work_items,
-        async_work=asy.stats.work_items,
+        sync_rounds=sync.rounds,
+        async_min_rounds=asy.local_rounds_min,
+        async_max_rounds=asy.local_rounds_max,
+        sync_work=sync.work_items,
+        async_work=asy.work_items,
     )
 
 
-def replication_table(dataset: Dataset, num_gpus: int = 32) -> tuple[list, str]:
+def replication_table(
+    dataset: Dataset, num_gpus: int = 32, executor=None
+) -> tuple[list, str]:
     """Per-policy replication factor / partner structure / static balance —
     the structural facts behind the Section V-C discussion."""
+    policies = ("cvc", "hvc", "iec", "oec")
+    specs = [
+        PartitionStatsSpec(
+            key=pol, dataset=dataset.name, policy=pol, num_gpus=num_gpus
+        )
+        for pol in policies
+    ]
+    outcomes = _run_cells(specs, executor)
     rows = []
-    for pol in ("cvc", "hvc", "iec", "oec"):
-        s = partition_stats(partition(dataset.graph, pol, num_gpus))
+    for pol in policies:
+        s = outcomes[pol].pstats
         rows.append([
             pol.upper(),
             round(s.replication_factor, 2),

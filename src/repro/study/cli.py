@@ -2,12 +2,15 @@
 
 ``repro-study list`` shows every reproducible table/figure;
 ``repro-study all`` runs them in order (hours at full fidelity; use
-``--quick`` for a reduced sweep).
+``--quick`` for a reduced sweep).  ``--jobs N`` fans the study cells of
+each experiment over ``N`` worker processes and ``--cache-dir DIR``
+persists partitions on disk so repeated sweeps skip re-partitioning.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
@@ -16,7 +19,7 @@ from repro.study import figures, tables
 __all__ = ["main"]
 
 
-def _analysis(quick: bool):
+def _analysis(quick: bool, ex):
     """The in-text narrative numbers (Section V's quoted quantities)."""
     from repro.generators import load_dataset
     from repro.study.analysis import (
@@ -26,7 +29,9 @@ def _analysis(quick: bool):
     )
 
     uk07 = load_dataset("uk07-s")
-    msr = message_size_reduction("sssp", uk07, num_gpus=16 if quick else 32)
+    msr = message_size_reduction(
+        "sssp", uk07, num_gpus=16 if quick else 32, executor=ex
+    )
     lines = [
         "In-text analysis numbers",
         f"  sssp/{msr.dataset}@{msr.num_gpus}: avg message "
@@ -35,19 +40,19 @@ def _analysis(quick: bool):
     ]
     if not quick:
         uk14 = load_dataset("uk14-s")
-        infl = async_work_inflation("bfs", uk14, num_gpus=64)
+        infl = async_work_inflation("bfs", uk14, num_gpus=64, executor=ex)
         lines.append(
             f"  bfs/{infl.dataset}@{infl.num_gpus}: rounds "
             f"{infl.sync_rounds} (sync) -> {infl.async_min_rounds}-"
             f"{infl.async_max_rounds} (async), work x{infl.work_inflation:.2f}"
         )
-    _, table = replication_table(uk07, num_gpus=16 if quick else 32)
+    _, table = replication_table(uk07, num_gpus=16 if quick else 32, executor=ex)
     lines.append("")
     lines.append(table)
     return None, "\n".join(lines)
 
 
-def _microbench(quick: bool):
+def _microbench(quick: bool, ex):
     from repro.study.microbench import uo_threshold_curve
     from repro.study.report import format_table
 
@@ -63,43 +68,53 @@ def _microbench(quick: bool):
         rows, title="UO extraction-threshold microbenchmark",
     )
 
+# Each experiment takes (quick, executor); table1 and the microbenchmark
+# have no study cells to fan out and ignore the executor.
 _EXPERIMENTS = {
-    "table1": lambda quick: tables.table1(
+    "table1": lambda quick, ex: tables.table1(
         diameter_sweeps=2 if quick else 4
     ),
-    "table2": lambda quick: tables.table2(
+    "table2": lambda quick, ex: tables.table2(
         gpu_counts=(2, 6) if quick else (1, 2, 4, 6),
         benchmarks=("bfs", "cc") if quick else ("bfs", "cc", "pr", "sssp"),
+        executor=ex,
     ),
-    "table3": lambda quick: tables.table3(),
-    "table4": lambda quick: tables.table4(
+    "table3": lambda quick, ex: tables.table3(executor=ex),
+    "table4": lambda quick, ex: tables.table4(
         benchmarks=("bfs", "pr") if quick else ("bfs", "cc", "kcore", "pr", "sssp"),
+        executor=ex,
     ),
-    "fig3": lambda quick: figures.figure3(
+    "fig3": lambda quick, ex: figures.figure3(
         gpu_counts=(2, 8, 32) if quick else (2, 4, 8, 16, 32, 64),
         benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+        executor=ex,
     ),
-    "fig4": lambda quick: figures.figure4(
+    "fig4": lambda quick, ex: figures.figure4(
         benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+        executor=ex,
     ),
-    "fig5": lambda quick: figures.figure5(),
-    "fig6": lambda quick: figures.figure6(
+    "fig5": lambda quick, ex: figures.figure5(executor=ex),
+    "fig6": lambda quick, ex: figures.figure6(
         benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
         systems=("var1", "var2", "var3") if quick
         else ("var1", "var2", "var3", "var4"),
+        executor=ex,
     ),
-    "fig7": lambda quick: figures.figure7(
+    "fig7": lambda quick, ex: figures.figure7(
         gpu_counts=(2, 8, 32) if quick else (2, 4, 8, 16, 32, 64),
         benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+        executor=ex,
     ),
-    "fig8": lambda quick: figures.figure8(
+    "fig8": lambda quick, ex: figures.figure8(
         benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+        executor=ex,
     ),
-    "fig9": lambda quick: figures.figure9(
+    "fig9": lambda quick, ex: figures.figure9(
         benchmarks=("bfs", "sssp") if quick else figures.STUDY_BENCHMARKS,
+        executor=ex,
     ),
-    "analysis": lambda quick: _analysis(quick),
-    "microbench": lambda quick: _microbench(quick),
+    "analysis": lambda quick, ex: _analysis(quick, ex),
+    "microbench": lambda quick, ex: _microbench(quick, ex),
 }
 
 
@@ -117,6 +132,22 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="reduced benchmark/GPU-count sweep for a fast look",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the study-cell sweep (1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist partitions to DIR; re-runs skip re-partitioning",
+    )
+    parser.add_argument(
+        "--engine-executor", choices=("serial", "threads"), default="serial",
+        help="per-partition compute loop inside each engine round",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="log one line per completed study cell",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -124,12 +155,25 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.progress:
+        logging.basicConfig(
+            level=logging.INFO, format="%(message)s", stream=sys.stderr
+        )
+        logging.getLogger("repro.runtime.sweep").setLevel(logging.INFO)
+
+    from repro.runtime.sweep import SweepExecutor
+
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        t0 = time.time()
-        _, text = _EXPERIMENTS[name](args.quick)
-        print(text)
-        print(f"[{name} regenerated in {time.time() - t0:.1f}s]\n")
+    with SweepExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        engine_executor=args.engine_executor,
+    ) as ex:
+        for name in names:
+            t0 = time.time()
+            _, text = _EXPERIMENTS[name](args.quick, ex)
+            print(text)
+            print(f"[{name} regenerated in {time.time() - t0:.1f}s]\n")
     return 0
 
 

@@ -15,6 +15,7 @@ from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
 from repro.frameworks.dirgl import DIrGL
 from repro.generators.datasets import dataset_names, load_dataset
 from repro.metrics.breakdown import Breakdown, breakdown_row
+from repro.runtime.cells import CellSpec, SystemSpec
 from repro.study.report import format_series, format_table
 from repro.study.scaling import ScalingResult, strong_scaling
 from repro.study.variants import make_variant
@@ -35,26 +36,67 @@ def _breakdown_sweep(
     datasets: Sequence[str],
     num_gpus: int,
     title: str,
+    executor=None,
 ):
-    """Shared driver for the breakdown figures (4, 5, 6, 8, 9)."""
+    """Shared driver for the breakdown figures (4, 5, 6, 8, 9).
+
+    ``systems`` values are zero-argument factories or picklable
+    :class:`SystemSpec` entries; with all-spec systems the cells run
+    through ``executor`` (``None`` = serial in-process), and rows are
+    assembled in the original nested-loop order either way.
+    """
     bars: dict[tuple[str, str, str], Optional[Breakdown]] = {}
     rows = []
-    for ds_name in datasets:
-        ds = load_dataset(ds_name)
-        for bench in benchmarks:
-            for sys_name, factory in systems.items():
-                try:
-                    res = factory().run(bench, ds, num_gpus)
-                    bar = breakdown_row(
-                        f"{ds_name}/{bench}/{sys_name}", res.stats
+    if systems and all(isinstance(s, SystemSpec) for s in systems.values()):
+        from repro.runtime.sweep import SweepExecutor
+
+        specs = [
+            CellSpec(
+                key=(ds_name, bench, sys_name),
+                system=spec,
+                benchmark=bench,
+                dataset=ds_name,
+                num_gpus=num_gpus,
+            )
+            for ds_name in datasets
+            for bench in benchmarks
+            for sys_name, spec in systems.items()
+        ]
+        ex = executor if executor is not None else SweepExecutor(jobs=1)
+        for out in ex.map(specs):
+            ds_name, bench, sys_name = out.key
+            bar = (
+                breakdown_row(f"{ds_name}/{bench}/{sys_name}", out.stats)
+                if out.ok
+                else None
+            )
+            bars[out.key] = bar
+            rows.append(
+                [ds_name, bench, sys_name]
+                + (list(bar.row()[1:]) if bar else [None] * 5)
+            )
+    else:
+        for ds_name in datasets:
+            ds = load_dataset(ds_name)
+            for bench in benchmarks:
+                for sys_name, factory in systems.items():
+                    try:
+                        fw = (
+                            factory.build()
+                            if isinstance(factory, SystemSpec)
+                            else factory()
+                        )
+                        res = fw.run(bench, ds, num_gpus)
+                        bar = breakdown_row(
+                            f"{ds_name}/{bench}/{sys_name}", res.stats
+                        )
+                    except (SimulatedOOMError, UnsupportedFeatureError, ReproError):
+                        bar = None
+                    bars[(ds_name, bench, sys_name)] = bar
+                    rows.append(
+                        [ds_name, bench, sys_name]
+                        + (list(bar.row()[1:]) if bar else [None] * 5)
                     )
-                except (SimulatedOOMError, UnsupportedFeatureError, ReproError):
-                    bar = None
-                bars[(ds_name, bench, sys_name)] = bar
-                rows.append(
-                    [ds_name, bench, sys_name]
-                    + (list(bar.row()[1:]) if bar else [None] * 5)
-                )
     headers = [
         "dataset", "benchmark", "system",
         "max compute (s)", "min wait (s)", "device comm (s)",
@@ -71,6 +113,7 @@ def figure3(
     datasets: Optional[Sequence[str]] = None,
     gpu_counts: Sequence[int] = (2, 4, 8, 16, 32, 64),
     systems: Sequence[str] = FIG3_SYSTEMS,
+    executor=None,
 ):
     """Strong scaling of Var1-4 and Lux on the medium graphs."""
     datasets = list(datasets or dataset_names("medium"))
@@ -80,8 +123,8 @@ def figure3(
         ds = load_dataset(ds_name)
         for bench in benchmarks:
             sweep = strong_scaling(
-                {s: (lambda s=s: make_variant(s, "iec")) for s in systems},
-                bench, ds, gpu_counts,
+                {s: SystemSpec.variant(s, "iec") for s in systems},
+                bench, ds, gpu_counts, executor=executor,
             )
             results[(ds_name, bench)] = sweep
             chunks.append(
@@ -101,12 +144,14 @@ def figure4(
     datasets: Optional[Sequence[str]] = None,
     num_gpus: int = 32,
     systems: Sequence[str] = ("var1", "var2", "var3", "var4"),
+    executor=None,
 ):
     datasets = list(datasets or dataset_names("medium"))
     return _breakdown_sweep(
-        {s: (lambda s=s: make_variant(s, "iec")) for s in systems},
+        {s: SystemSpec.variant(s, "iec") for s in systems},
         benchmarks, datasets, num_gpus,
         title=f"Figure 4: variant breakdown, medium graphs, {num_gpus} GPUs",
+        executor=executor,
     )
 
 
@@ -117,15 +162,17 @@ def figure5(
     benchmarks: Sequence[str] = ("cc", "pr"),
     datasets: Optional[Sequence[str]] = None,
     num_gpus: int = 4,
+    executor=None,
 ):
     datasets = list(datasets or dataset_names("medium"))
     return _breakdown_sweep(
         {
-            "lux": lambda: make_variant("lux"),
-            "d-irgl(var1)": lambda: make_variant("var1", "iec"),
+            "lux": SystemSpec.variant("lux"),
+            "d-irgl(var1)": SystemSpec.variant("var1", "iec"),
         },
         benchmarks, datasets, num_gpus,
         title=f"Figure 5: Lux vs D-IrGL (Var1), medium graphs, {num_gpus} GPUs",
+        executor=executor,
     )
 
 
@@ -137,12 +184,14 @@ def figure6(
     datasets: Optional[Sequence[str]] = None,
     num_gpus: int = 64,
     systems: Sequence[str] = ("var1", "var2", "var3", "var4"),
+    executor=None,
 ):
     datasets = list(datasets or dataset_names("large"))
     return _breakdown_sweep(
-        {s: (lambda s=s: make_variant(s, "iec")) for s in systems},
+        {s: SystemSpec.variant(s, "iec") for s in systems},
         benchmarks, datasets, num_gpus,
         title=f"Figure 6: variant breakdown, large graphs, {num_gpus} GPUs",
+        executor=executor,
     )
 
 
@@ -155,20 +204,23 @@ def figure7(
     gpu_counts: Sequence[int] = (2, 4, 8, 16, 32, 64),
     policies: Sequence[str] = POLICIES,
     include_lux: bool = True,
+    executor=None,
 ):
     """Strong scaling of D-IrGL (all optimizations) per policy, plus Lux."""
     datasets = list(datasets or dataset_names("medium"))
     systems: dict = {
-        p.upper(): (lambda p=p: DIrGL(policy=p)) for p in policies
+        p.upper(): SystemSpec.dirgl(policy=p) for p in policies
     }
     if include_lux:
-        systems["Lux"] = lambda: make_variant("lux")
+        systems["Lux"] = SystemSpec.variant("lux")
     results: dict[tuple[str, str], ScalingResult] = {}
     chunks = []
     for ds_name in datasets:
         ds = load_dataset(ds_name)
         for bench in benchmarks:
-            sweep = strong_scaling(systems, bench, ds, gpu_counts)
+            sweep = strong_scaling(
+                systems, bench, ds, gpu_counts, executor=executor
+            )
             results[(ds_name, bench)] = sweep
             chunks.append(
                 format_series(
@@ -187,12 +239,14 @@ def figure8(
     datasets: Optional[Sequence[str]] = None,
     num_gpus: int = 32,
     policies: Sequence[str] = POLICIES,
+    executor=None,
 ):
     datasets = list(datasets or dataset_names("medium"))
     return _breakdown_sweep(
-        {p.upper(): (lambda p=p: DIrGL(policy=p)) for p in policies},
+        {p.upper(): SystemSpec.dirgl(policy=p) for p in policies},
         benchmarks, datasets, num_gpus,
         title=f"Figure 8: policy breakdown, medium graphs, {num_gpus} GPUs",
+        executor=executor,
     )
 
 
@@ -201,10 +255,12 @@ def figure9(
     datasets: Optional[Sequence[str]] = None,
     num_gpus: int = 64,
     policies: Sequence[str] = POLICIES,
+    executor=None,
 ):
     datasets = list(datasets or dataset_names("large"))
     return _breakdown_sweep(
-        {p.upper(): (lambda p=p: DIrGL(policy=p)) for p in policies},
+        {p.upper(): SystemSpec.dirgl(policy=p) for p in policies},
         benchmarks, datasets, num_gpus,
         title=f"Figure 9: policy breakdown, large graphs, {num_gpus} GPUs",
+        executor=executor,
     )

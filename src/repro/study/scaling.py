@@ -11,12 +11,13 @@ crashes").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
 from repro.frameworks.base import Framework
 from repro.generators.datasets import Dataset
 from repro.metrics.stats import RunStats
+from repro.runtime.cells import CellSpec, SystemSpec
 
 __all__ = ["ScalingPoint", "ScalingResult", "strong_scaling"]
 
@@ -64,26 +65,63 @@ class ScalingResult:
 
 
 def strong_scaling(
-    systems: dict[str, Callable[[], Framework]],
+    systems: dict[str, Union[Callable[[], Framework], SystemSpec]],
     benchmark: str,
     dataset: Dataset,
     gpu_counts: Sequence[int] = DEFAULT_GPU_COUNTS,
     platform: str = "bridges",
+    executor=None,
     **ctx_overrides,
 ) -> ScalingResult:
     """Sweep ``benchmark`` on ``dataset`` for each system over GPU counts.
 
-    ``systems`` maps a display name to a zero-argument framework factory
-    (a fresh facade per run keeps engines stateless).
+    ``systems`` maps a display name to either a zero-argument framework
+    factory (a fresh facade per run keeps engines stateless) or a
+    picklable :class:`~repro.runtime.cells.SystemSpec`.  When every value
+    is a ``SystemSpec``, the sweep runs through ``executor`` (a
+    :class:`~repro.runtime.SweepExecutor`; ``None`` means serial
+    in-process) — cells fan out over its worker pool but results are
+    assembled in the same order as the serial loops, so the
+    :class:`ScalingResult` is identical either way.
     """
     result = ScalingResult(
         benchmark=benchmark, dataset=dataset.name, gpu_counts=tuple(gpu_counts)
     )
+    if systems and all(isinstance(s, SystemSpec) for s in systems.values()):
+        from repro.runtime.sweep import SweepExecutor
+
+        specs = [
+            CellSpec(
+                key=(name, n),
+                system=spec,
+                benchmark=benchmark,
+                dataset=dataset.name,
+                num_gpus=n,
+                platform=platform,
+                ctx_overrides=tuple(sorted(ctx_overrides.items())),
+            )
+            for name, spec in systems.items()
+            for n in gpu_counts
+        ]
+        ex = executor if executor is not None else SweepExecutor(jobs=1)
+        outcomes = {o.key: o for o in ex.map(specs)}
+        for name in systems:
+            result.points[name] = [
+                ScalingPoint(name, n, outcomes[(name, n)].stats,
+                             failure=outcomes[(name, n)].failure_label())
+                for n in gpu_counts
+            ]
+        return result
     for name, factory in systems.items():
         pts: list[ScalingPoint] = []
         for n in gpu_counts:
             try:
-                res = factory().run(
+                fw = (
+                    factory.build()
+                    if isinstance(factory, SystemSpec)
+                    else factory()
+                )
+                res = fw.run(
                     benchmark, dataset, n, platform=platform, **ctx_overrides
                 )
                 pts.append(ScalingPoint(name, n, res.stats))

@@ -10,12 +10,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
-from repro.frameworks import DIrGL, FRAMEWORKS
+from repro.frameworks import DIrGL
 from repro.generators.datasets import dataset_names, load_dataset
 from repro.graph.properties import properties
-from repro.partition import partition, partition_stats
+from repro.runtime.cells import CellSpec, PartitionStatsSpec, SystemSpec
 from repro.study.report import format_table
+
+
+def _executor(executor):
+    """``None`` means run cells serially in-process."""
+    if executor is not None:
+        return executor
+    from repro.runtime.sweep import SweepExecutor
+
+    return SweepExecutor(jobs=1)
 
 __all__ = ["table1", "table2", "table3", "table4"]
 
@@ -69,53 +77,67 @@ class BestRun:
         return f"{self.time:.3f}s @{self.num_gpus}gpu{pol}"
 
 
-def _best_over(fw_factory, benchmark, ds, gpu_counts, platform="tuxedo") -> BestRun:
-    best = BestRun(None, None)
-    for n in gpu_counts:
-        try:
-            fw = fw_factory()
-            res = fw.run(benchmark, ds, n, platform=platform)
-            t = res.stats.execution_time
-            if best.time is None or t < best.time:
-                best = BestRun(t, n, getattr(fw, "policy", ""))
-        except (SimulatedOOMError, UnsupportedFeatureError, ReproError):
-            continue
-    return best
+_T2_FRAMEWORKS = ("gunrock", "groute", "lux", "d-irgl")
+_T2_DIRGL_POLICIES = ("oec", "iec", "hvc", "cvc")
+
+
+def _t2_system(fw_name: str, policy: str) -> SystemSpec:
+    if fw_name == "d-irgl":
+        return SystemSpec.dirgl(policy=policy)
+    return SystemSpec.framework(fw_name)
 
 
 def table2(
     benchmarks: Sequence[str] = _T2_BENCHMARKS,
     datasets: Optional[Sequence[str]] = None,
     gpu_counts: Sequence[int] = _T2_GPU_COUNTS,
+    executor=None,
 ):
     """Fastest execution time of all frameworks on Tuxedo (small graphs).
 
     D-IrGL searches its four policies (the paper annotates the winning
-    policy per cell); the other frameworks have one fixed policy.
+    policy per cell); the other frameworks have one fixed policy.  All
+    (framework, policy, GPU count) candidates fan out through ``executor``
+    and the per-cell minimum is taken in the fixed policy-major,
+    count-minor order with a strict ``<``, so ties resolve exactly as the
+    original serial search did.
     """
     datasets = list(datasets or dataset_names("small"))
+
+    def candidates(fw_name):
+        pols = _T2_DIRGL_POLICIES if fw_name == "d-irgl" else ("",)
+        return [(pol, n) for pol in pols for n in gpu_counts]
+
+    specs = [
+        CellSpec(
+            key=(bench, fw_name, ds_name, pol, n),
+            system=_t2_system(fw_name, pol),
+            benchmark=bench,
+            dataset=ds_name,
+            num_gpus=n,
+            platform="tuxedo",
+        )
+        for bench in benchmarks
+        for fw_name in _T2_FRAMEWORKS
+        for ds_name in datasets
+        for pol, n in candidates(fw_name)
+    ]
+    outcomes = {o.key: o for o in _executor(executor).map(specs)}
+
     rows = []
     cells: dict[tuple[str, str, str], BestRun] = {}
     for bench in benchmarks:
-        for fw_name in ("gunrock", "groute", "lux", "d-irgl"):
+        for fw_name in _T2_FRAMEWORKS:
             row = [bench, fw_name]
             for ds_name in datasets:
-                ds = load_dataset(ds_name)
-                if fw_name == "d-irgl":
-                    best = BestRun(None, None)
-                    for pol in ("oec", "iec", "hvc", "cvc"):
-                        b = _best_over(
-                            lambda pol=pol: DIrGL(policy=pol),
-                            bench, ds, gpu_counts,
-                        )
-                        if b.time is not None and (
-                            best.time is None or b.time < best.time
-                        ):
-                            best = b
-                else:
-                    best = _best_over(
-                        FRAMEWORKS[fw_name], bench, ds, gpu_counts
-                    )
+                best = BestRun(None, None)
+                for pol, n in candidates(fw_name):
+                    o = outcomes[(bench, fw_name, ds_name, pol, n)]
+                    if not o.ok:
+                        continue
+                    t = o.stats.execution_time
+                    if best.time is None or t < best.time:
+                        best = BestRun(t, n, o.stats.policy)
                 cells[(bench, fw_name, ds_name)] = best
                 row.append(best.cell())
             rows.append(row)
@@ -132,22 +154,34 @@ def table2(
 # --------------------------------------------------------------------------- #
 # Table III — memory usage of cc on 6 GPUs
 # --------------------------------------------------------------------------- #
-def table3(datasets: Optional[Sequence[str]] = None, num_gpus: int = 6):
+def table3(
+    datasets: Optional[Sequence[str]] = None,
+    num_gpus: int = 6,
+    executor=None,
+):
     """Maximum GPU memory (paper-scale GB) for cc on Tuxedo's 6 GPUs."""
     datasets = list(datasets or dataset_names("small"))
+    specs = [
+        CellSpec(
+            key=(fw_name, ds_name),
+            system=SystemSpec.framework(fw_name),
+            benchmark="cc",
+            dataset=ds_name,
+            num_gpus=num_gpus,
+            platform="tuxedo",
+            check_memory=False,
+        )
+        for fw_name in _T2_FRAMEWORKS
+        for ds_name in datasets
+    ]
+    outcomes = {o.key: o for o in _executor(executor).map(specs)}
     rows = []
     cells: dict[tuple[str, str], Optional[float]] = {}
-    for fw_name in ("gunrock", "groute", "lux", "d-irgl"):
+    for fw_name in _T2_FRAMEWORKS:
         row = [fw_name]
         for ds_name in datasets:
-            ds = load_dataset(ds_name)
-            try:
-                res = FRAMEWORKS[fw_name]().run(
-                    "cc", ds, num_gpus, platform="tuxedo", check_memory=False
-                )
-                gb = res.stats.memory_max_gb
-            except (UnsupportedFeatureError, ReproError):
-                gb = None
+            o = outcomes[(fw_name, ds_name)]
+            gb = o.stats.memory_max_gb if o.ok else None
             cells[(fw_name, ds_name)] = gb
             row.append(gb)
         rows.append(row)
@@ -173,6 +207,7 @@ def table4(
     configs: Sequence[tuple[str, int]] = _T4_CONFIGS,
     benchmarks: Sequence[str] = _T4_BENCHMARKS,
     policies: Sequence[str] = _T4_POLICIES,
+    executor=None,
 ):
     """Static (edges), dynamic (compute time), and memory balance ratios.
 
@@ -183,23 +218,42 @@ def table4(
     identical in structure under BASP but orders of magnitude cheaper to
     simulate at 64 partitions.
     """
+    specs: list = []
+    for bench in benchmarks:
+        # resolve_app is cheap; whether the benchmark runs on the
+        # symmetrized graph decides which partitioning is measured.
+        needs_symmetric = DIrGL().resolve_app(bench).needs_symmetric
+        for pol in policies:
+            for ds_name, num_gpus in configs:
+                specs.append(PartitionStatsSpec(
+                    key=("pstats", bench, pol, ds_name),
+                    dataset=ds_name,
+                    policy=pol,
+                    num_gpus=num_gpus,
+                    symmetric=needs_symmetric,
+                ))
+                specs.append(CellSpec(
+                    key=("run", bench, pol, ds_name),
+                    system=SystemSpec.dirgl(policy=pol, execution="sync"),
+                    benchmark=bench,
+                    dataset=ds_name,
+                    num_gpus=num_gpus,
+                    check_memory=False,
+                ))
+    outcomes = {o.key: o for o in _executor(executor).map(specs)}
+
     rows = []
     cells: dict[tuple, tuple] = {}
     for bench in benchmarks:
         for pol in policies:
             row = [bench, pol.upper()]
             for ds_name, num_gpus in configs:
-                ds = load_dataset(ds_name)
-                fw = DIrGL(policy=pol, execution="sync")
-                app = fw.resolve_app(bench)
-                graph = ds.symmetric() if app.needs_symmetric else ds.graph
-                pstats = partition_stats(partition(graph, pol, num_gpus))
-                try:
-                    res = fw.run(bench, ds, num_gpus, check_memory=False)
-                    dyn = res.stats.dynamic_balance
-                    mem = res.stats.memory_balance
-                except ReproError:
-                    dyn = mem = None
+                po = outcomes[("pstats", bench, pol, ds_name)]
+                po.raise_failure()  # partitioner failures are bugs here
+                pstats = po.pstats
+                o = outcomes[("run", bench, pol, ds_name)]
+                dyn = o.stats.dynamic_balance if o.ok else None
+                mem = o.stats.memory_balance if o.ok else None
                 cells[(bench, pol, ds_name)] = (
                     pstats.static_balance, dyn, mem,
                 )

@@ -104,6 +104,35 @@ class TestDirectionOptimizingSwitch:
         assert out.edges_processed == 30
         assert np.all(state["dist"][1:] == 1)
 
+    def test_pull_rounds_match_push_bfs(self, small_graph, ctx):
+        """Forcing every round down the pull path (alpha=0) must give the
+        same distances as plain push BFS — the lazily-built pull cache
+        (reverse graph + shrinking unvisited pool) cannot change results
+        across rounds."""
+        from repro.apps.bfs import DirectionOptBFS
+
+        pg = partition(small_graph, "cvc", 4, cache=False)
+        push = BSPEngine(
+            pg, bridges(4), get_app("bfs"), check_memory=False
+        ).run(ctx)
+        do = DirectionOptBFS()
+        do.alpha = 0.0
+        pull = BSPEngine(pg, bridges(4), do, check_memory=False).run(ctx)
+        np.testing.assert_array_equal(push.labels, pull.labels)
+        assert pull.stats.rounds == push.stats.rounds
+
+    def test_default_switch_matches_push_bfs(self, small_graph, ctx):
+        """With the stock alpha the mixed push/pull schedule still lands
+        on identical distances."""
+        pg = partition(small_graph, "cvc", 4, cache=False)
+        push = BSPEngine(
+            pg, bridges(4), get_app("bfs"), check_memory=False
+        ).run(ctx)
+        mixed = BSPEngine(
+            pg, bridges(4), get_app("bfs-do"), check_memory=False
+        ).run(ctx)
+        np.testing.assert_array_equal(push.labels, mixed.labels)
+
 
 class TestKcoreInternals:
     def test_vertex_processed_once_per_partition(self, small_sym, ctx):

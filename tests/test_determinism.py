@@ -25,7 +25,7 @@ APPS = ("bfs", "cc", "kcore", "pr", "sssp")
 ENGINES = {"bsp": BSPEngine, "basp": BASPEngine}
 
 
-def _one_run(app_name: str, engine: str):
+def _one_run(app_name: str, engine: str, executor: str = "serial"):
     """Build everything from scratch and run once."""
     g = add_random_weights(rmat(9, edge_factor=8, seed=3), seed=0)
     sym = add_random_weights(make_undirected(g), seed=1)
@@ -43,6 +43,7 @@ def _one_run(app_name: str, engine: str):
         pg, bridges(4), app,
         comm_config=CommConfig(update_only=True),
         check_memory=False,
+        executor=executor,
     )
     return eng.run(ctx)
 
@@ -56,14 +57,58 @@ def _assert_stats_identical(a, b):
             assert va == vb, f"{f.name}: {va!r} != {vb!r}"
 
 
-@pytest.mark.parametrize("engine", sorted(ENGINES))
-@pytest.mark.parametrize("app", APPS)
-def test_two_runs_identical(app, engine):
-    r1 = _one_run(app, engine)
-    r2 = _one_run(app, engine)
+def _assert_results_identical(r1, r2):
     np.testing.assert_array_equal(r1.labels, r2.labels)
     assert r1.stats.rounds == r2.stats.rounds
     _assert_stats_identical(r1.stats, r2.stats)
     assert set(r1.extra) == set(r2.extra)
     for k in r1.extra:
         np.testing.assert_array_equal(r1.extra[k], r2.extra[k])
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("app", APPS)
+def test_two_runs_identical(app, engine):
+    _assert_results_identical(_one_run(app, engine), _one_run(app, engine))
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("app", APPS)
+def test_threads_executor_bit_identical(app, engine):
+    """The threaded compute phase must not change a single stats field:
+    per-partition outputs are merged in pid order regardless of which
+    thread finished first."""
+    _assert_results_identical(
+        _one_run(app, engine), _one_run(app, engine, executor="threads")
+    )
+
+
+def test_sweep_process_pool_bit_identical():
+    """The same study cells through jobs=1 and a 2-worker process pool
+    must agree on every deterministic outcome field."""
+    from repro.runtime.cells import CellSpec, SystemSpec
+    from repro.runtime.sweep import SweepExecutor
+
+    specs = [
+        CellSpec(
+            key=(name, bench),
+            system=SystemSpec.variant(name),
+            benchmark=bench,
+            dataset="tiny-s",
+            num_gpus=2,
+            check_memory=False,
+        )
+        for name in ("var1", "var4")
+        for bench in ("bfs", "pr")
+    ]
+    with SweepExecutor(jobs=1) as ex:
+        serial = ex.map(specs)
+    with SweepExecutor(jobs=2) as ex:
+        pooled = ex.map(specs)
+    assert [o.key for o in serial] == [o.key for o in pooled]
+    for a, b in zip(serial, pooled):
+        assert a.ok and b.ok
+        assert a.labels_crc == b.labels_crc, a.key
+        assert a.stats.execution_time == b.stats.execution_time, a.key
+        assert a.stats.rounds == b.stats.rounds, a.key
+        assert a.stats.comm_volume_bytes == b.stats.comm_volume_bytes, a.key

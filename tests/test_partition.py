@@ -234,3 +234,30 @@ class TestBuilderValidation:
         )
         pg.validate()
         assert pg.parts[1].num_local == 0
+
+
+class TestMembershipEquivalence:
+    """The one-global-sort membership path must reproduce the original
+    per-partition ``np.union1d`` scan exactly."""
+
+    @pytest.mark.parametrize("parts", [1, 3, 8])
+    def test_vectorized_matches_reference(self, g, parts):
+        rng = np.random.default_rng(11)
+        vo = rng.integers(0, parts, g.num_vertices).astype(np.int32)
+        eo = rng.integers(0, parts, g.num_edges).astype(np.int32)
+        fast = build_partitions(g, vo, eo, parts, "manual")
+        ref = build_partitions(g, vo, eo, parts, "manual", membership="reference")
+        fast.validate()
+        np.testing.assert_array_equal(fast.vertex_owner, ref.vertex_owner)
+        for pf, pr in zip(fast.parts, ref.parts):
+            np.testing.assert_array_equal(pf.local_to_global, pr.local_to_global)
+            np.testing.assert_array_equal(pf.global_to_local, pr.global_to_local)
+            np.testing.assert_array_equal(pf.is_master, pr.is_master)
+            np.testing.assert_array_equal(pf.graph.indptr, pr.graph.indptr)
+            np.testing.assert_array_equal(pf.graph.indices, pr.graph.indices)
+
+    def test_unknown_membership_rejected(self, g):
+        vo = np.zeros(g.num_vertices, np.int32)
+        eo = np.zeros(g.num_edges, np.int32)
+        with pytest.raises(PartitioningError, match="membership"):
+            build_partitions(g, vo, eo, 1, "manual", membership="eager")

@@ -1,0 +1,173 @@
+"""Tests for the content-hash partition cache (memory LRU + disk store)."""
+
+import numpy as np
+import pytest
+
+from repro.generators import rmat
+from repro.graph import from_edges
+from repro.partition import partition
+from repro.partition.cache import PartitionCache, clear, configure, get_cache
+from repro.partition.cusp import POLICIES
+
+
+@pytest.fixture(scope="module")
+def g():
+    return rmat(8, edge_factor=8, seed=5)
+
+
+@pytest.fixture
+def restore_global_cache():
+    """Leave the process-wide cache as other tests expect it (in-memory
+    only); ``configure`` also zeroes the accumulated stats."""
+    yield
+    configure(cache_dir=None)
+
+
+def _counting_builder(policy):
+    calls = []
+
+    def builder(graph, num_partitions):
+        calls.append((policy, num_partitions))
+        return POLICIES[policy](graph, num_partitions)
+
+    return builder, calls
+
+
+def _assert_partitions_equal(a, b):
+    assert a.policy == b.policy
+    assert a.grid == b.grid
+    np.testing.assert_array_equal(a.vertex_owner, b.vertex_owner)
+    assert len(a.parts) == len(b.parts)
+    for pa, pb in zip(a.parts, b.parts):
+        assert pa.pid == pb.pid
+        np.testing.assert_array_equal(pa.local_to_global, pb.local_to_global)
+        np.testing.assert_array_equal(pa.global_to_local, pb.global_to_local)
+        np.testing.assert_array_equal(pa.is_master, pb.is_master)
+        np.testing.assert_array_equal(pa.graph.indptr, pb.graph.indptr)
+        np.testing.assert_array_equal(pa.graph.indices, pb.graph.indices)
+        for ea, eb in zip(pa.mirror_exchange, pb.mirror_exchange):
+            np.testing.assert_array_equal(ea, eb)
+        for ea, eb in zip(pa.master_exchange, pb.master_exchange):
+            np.testing.assert_array_equal(ea, eb)
+
+
+class TestMemoryLRU:
+    def test_second_lookup_hits_memory(self, g):
+        cache = PartitionCache()
+        builder, calls = _counting_builder("oec")
+        p1 = cache.lookup_or_build(g, "oec", 4, builder)
+        p2 = cache.lookup_or_build(g, "oec", 4, builder)
+        assert p1 is p2
+        assert calls == [("oec", 4)]
+        assert cache.stats.builds == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_distinct_keys_do_not_collide(self, g):
+        cache = PartitionCache()
+        builder, calls = _counting_builder("oec")
+        cache.lookup_or_build(g, "oec", 2, builder)
+        cache.lookup_or_build(g, "oec", 4, builder)
+        assert calls == [("oec", 2), ("oec", 4)]
+        assert len(cache) == 2
+
+    def test_lru_evicts_oldest(self, g):
+        cache = PartitionCache(max_entries=2)
+        builder, calls = _counting_builder("oec")
+        for parts in (2, 3, 4):
+            cache.lookup_or_build(g, "oec", parts, builder)
+        assert len(cache) == 2
+        # the first key was evicted, so it rebuilds; the last two do not
+        cache.lookup_or_build(g, "oec", 2, builder)
+        cache.lookup_or_build(g, "oec", 4, builder)
+        assert calls == [("oec", p) for p in (2, 3, 4, 2)]
+
+    def test_content_hash_keying(self, g):
+        # a graph rebuilt from the same edges has the same key; a graph
+        # with one extra edge does not
+        src, dst = [0, 1, 2, 2], [1, 2, 0, 3]
+        g1 = from_edges(src, dst, num_vertices=4)
+        g2 = from_edges(src, dst, num_vertices=4)
+        g3 = from_edges(src + [3], dst + [0], num_vertices=4)
+        assert PartitionCache.key_for(g1, "oec", 2) == PartitionCache.key_for(
+            g2, "oec", 2
+        )
+        assert PartitionCache.key_for(g1, "oec", 2) != PartitionCache.key_for(
+            g3, "oec", 2
+        )
+
+
+class TestDiskStore:
+    def test_round_trip(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        writer = PartitionCache(cache_dir=store)
+        builder, calls = _counting_builder("cvc")
+        built = writer.lookup_or_build(g, "cvc", 4, builder)
+        assert writer.stats.stores == 1
+
+        # a fresh cache (fresh process, conceptually) loads from disk
+        reader = PartitionCache(cache_dir=store)
+        loaded = reader.lookup_or_build(g, "cvc", 4, builder)
+        assert calls == [("cvc", 4)]
+        assert reader.stats.builds == 0
+        assert reader.stats.disk_hits == 1
+        loaded.validate()
+        _assert_partitions_equal(built, loaded)
+
+    def test_corrupt_file_rebuilds(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        cache = PartitionCache(cache_dir=store)
+        builder, calls = _counting_builder("oec")
+        cache.lookup_or_build(g, "oec", 4, builder)
+
+        path = cache._disk_path(PartitionCache.key_for(g, "oec", 4))
+        with open(path, "wb") as f:
+            f.write(b"not an npz file")
+
+        fresh = PartitionCache(cache_dir=store)
+        pg = fresh.lookup_or_build(g, "oec", 4, builder)
+        assert fresh.stats.disk_hits == 0
+        assert fresh.stats.builds == 1
+        pg.validate()
+
+    def test_store_failure_is_best_effort(self, g, tmp_path, monkeypatch):
+        cache = PartitionCache(cache_dir=str(tmp_path / "pcache"))
+
+        def boom(*a, **kw):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.partition.cache.tempfile.mkstemp", boom)
+        builder, _ = _counting_builder("oec")
+        pg = cache.lookup_or_build(g, "oec", 2, builder)  # must not raise
+        pg.validate()
+        assert cache.stats.stores == 0
+
+
+class TestGlobalCache:
+    def test_partition_uses_global_cache(self, g, restore_global_cache):
+        configure(cache_dir=None)
+        p1 = partition(g, "iec", 4)
+        p2 = partition(g, "iec", 4)
+        assert p1 is p2
+        assert get_cache().stats.memory_hits >= 1
+
+    def test_cache_false_bypasses(self, g, restore_global_cache):
+        configure(cache_dir=None)
+        p1 = partition(g, "iec", 4, cache=False)
+        p2 = partition(g, "iec", 4, cache=False)
+        assert p1 is not p2
+        assert get_cache().stats.builds == 0
+        assert len(get_cache()) == 0
+
+    def test_configure_sets_disk_store(self, g, tmp_path, restore_global_cache):
+        configure(cache_dir=str(tmp_path / "store"))
+        partition(g, "oec", 2)
+        assert get_cache().stats.stores == 1
+        assert any((tmp_path / "store").iterdir())
+
+    def test_clear_resets_counters(self, g, restore_global_cache):
+        configure(cache_dir=None)
+        partition(g, "oec", 2)
+        assert get_cache().stats.builds == 1
+        clear()
+        assert len(get_cache()) == 0
+        assert get_cache().stats.builds == 0

@@ -1,0 +1,175 @@
+"""Tests for the sweep runtime: picklable cell specs, the worker-side
+runner, and the process-pool executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
+from repro.partition.cache import configure
+from repro.runtime.cells import (
+    CellOutcome,
+    CellSpec,
+    PartitionStatsSpec,
+    SystemSpec,
+    run_task,
+)
+from repro.runtime.sweep import SweepExecutor
+
+
+@pytest.fixture
+def restore_global_cache():
+    yield
+    configure(cache_dir=None)
+
+
+def _cell(key, bench="bfs", system=None, **kw):
+    return CellSpec(
+        key=key,
+        system=system or SystemSpec.dirgl(policy="iec"),
+        benchmark=bench,
+        dataset="tiny-s",
+        num_gpus=2,
+        check_memory=False,
+        **kw,
+    )
+
+
+class TestSystemSpec:
+    def test_variant_builds(self):
+        fw = SystemSpec.variant("var1", "cvc").build()
+        assert hasattr(fw, "run")
+
+    def test_dirgl_builds_with_kwargs(self):
+        fw = SystemSpec.dirgl(policy="oec", execution="sync").build()
+        assert fw.policy == "oec"
+
+    def test_framework_builds_from_registry(self):
+        fw = SystemSpec.framework("lux").build()
+        assert hasattr(fw, "run")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown SystemSpec kind"):
+            SystemSpec("nonsense").build()
+
+    def test_specs_are_hashable_and_picklable(self):
+        import pickle
+
+        spec = _cell(("a", 1))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        hash(spec.system)
+
+
+class TestRunTask:
+    def test_cell_outcome_fields(self):
+        out = run_task(_cell("k1"))
+        assert out.ok
+        assert out.key == "k1"
+        assert out.stats is not None
+        assert out.pstats is None
+        assert isinstance(out.labels_crc, int)
+        assert out.labels is None  # not kept unless asked
+        assert out.elapsed > 0
+
+    def test_keep_labels(self):
+        out = run_task(_cell("k1", keep_labels=True))
+        assert isinstance(out.labels, np.ndarray)
+
+    def test_partition_stats_spec(self):
+        out = run_task(
+            PartitionStatsSpec(key="p1", dataset="tiny-s", policy="cvc", num_gpus=4)
+        )
+        assert out.ok
+        assert out.pstats is not None
+        assert out.pstats.num_partitions == 4
+        assert out.stats is None
+
+    def test_labels_crc_is_deterministic(self):
+        a = run_task(_cell("x"))
+        b = run_task(_cell("y"))
+        assert a.labels_crc == b.labels_crc
+
+
+class TestFailureTaxonomy:
+    def test_ok_outcome_does_not_raise(self):
+        CellOutcome(key="k").raise_failure()
+
+    def test_oom_rebuilds_original_exception(self):
+        # run_task stores the constructor args because SimulatedOOMError's
+        # __init__ takes (gpu_index, required_bytes, capacity_bytes), not
+        # a message string
+        e = SimulatedOOMError(3, 2**34, 2**33)
+        out = CellOutcome(
+            key="k",
+            failure=str(e),
+            failure_kind="oom",
+            extra={"oom_args": (e.gpu_index, e.required_bytes, e.capacity_bytes)},
+        )
+        with pytest.raises(SimulatedOOMError) as exc:
+            out.raise_failure()
+        assert exc.value.gpu_index == 3
+        assert exc.value.required_bytes == 2**34
+        assert out.failure_label().startswith("oom: ")
+
+    def test_oom_without_args_degrades_to_repro_error(self):
+        out = CellOutcome(key="k", failure="oom happened", failure_kind="oom")
+        with pytest.raises(ReproError):
+            out.raise_failure()
+
+    def test_unsupported(self):
+        out = CellOutcome(key="k", failure="no async", failure_kind="unsupported")
+        with pytest.raises(UnsupportedFeatureError):
+            out.raise_failure()
+        assert out.failure_label() == "unsupported: no async"
+        assert not out.ok
+
+    def test_generic_error(self):
+        out = CellOutcome(key="k", failure="boom", failure_kind="error")
+        with pytest.raises(ReproError):
+            out.raise_failure()
+        assert out.failure_label() == "boom"
+
+
+class TestSweepExecutor:
+    def test_serial_preserves_submission_order(self):
+        specs = [_cell(i, bench=b) for i, b in enumerate(("cc", "bfs", "pr"))]
+        with SweepExecutor(jobs=1) as ex:
+            outs = ex.map(specs)
+        assert [o.key for o in outs] == [0, 1, 2]
+        assert all(o.ok for o in outs)
+
+    def test_pool_preserves_submission_order(self):
+        specs = [_cell(i, bench=b) for i, b in enumerate(("cc", "bfs", "pr"))]
+        with SweepExecutor(jobs=2) as ex:
+            outs = ex.map(specs)
+        assert [o.key for o in outs] == [0, 1, 2]
+        assert all(o.ok for o in outs)
+
+    def test_single_spec_short_circuits_to_serial(self):
+        with SweepExecutor(jobs=4) as ex:
+            outs = ex.map([_cell("only")])
+        assert ex._pool is None  # no pool was ever spun up
+        assert outs[0].ok
+
+    def test_engine_executor_stamped_onto_cells(self):
+        ex = SweepExecutor(jobs=1, engine_executor="threads")
+        cell = ex._prepare(_cell("c"))
+        assert cell.engine_executor == "threads"
+        # an explicit per-spec choice wins over the sweep-wide default
+        explicit = _cell("c", engine_executor="threads")
+        assert ex._prepare(explicit) is explicit
+        # partition-stats specs run no engine and pass through untouched
+        ps = PartitionStatsSpec(key="p", dataset="tiny-s", policy="cvc", num_gpus=2)
+        assert ex._prepare(ps) is ps
+
+    def test_cache_dir_shared_across_cells(self, tmp_path, restore_global_cache):
+        store = str(tmp_path / "pcache")
+        with SweepExecutor(jobs=1, cache_dir=store) as ex:
+            first = ex.map([_cell("a"), _cell("b", bench="cc")])
+            again = ex.map([_cell("c"), _cell("d", bench="cc")])
+        assert all(o.ok for o in first + again)
+        assert sum(o.partition_builds for o in first) >= 1
+        # same dataset/policy/parts: nothing re-partitions on the rerun
+        assert sum(o.partition_builds for o in again) == 0
+        import os
+
+        assert os.listdir(store)
