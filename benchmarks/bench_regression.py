@@ -19,6 +19,11 @@ Three guards, two committed baselines (``benchmarks/BENCH_sync.json``,
   pool itself is exercised, including in CI), and a warm partition cache
   must make the sweep >= 2x faster than the cold serial first run, with
   zero re-partitions (full mode only).
+* the **tracing overhead gate** — the matrix with a *disabled*
+  ``repro.obs.Tracer`` attached must stay within 2% of the no-tracer
+  wall-clock (``REPRO_TRACE_OVERHEAD_TOL`` overrides), with identical
+  deterministic metrics; the observability layer must cost nothing when
+  off.
 
 Usage::
 
@@ -48,8 +53,10 @@ from repro.metrics.perfbaseline import (
     load_sweep_baseline,
     measure_speedup,
     measure_sweep_speedup,
+    measure_trace_overhead,
     run_matrix,
     run_sweep,
+    trace_overhead_tolerance,
     write_baseline,
     write_sweep_baseline,
 )
@@ -88,6 +95,16 @@ def _speedup_line(sp: dict) -> str:
         f"{sp['scalar_wall_seconds'] * 1e3:.1f} ms scalar / "
         f"{sp['vectorized_wall_seconds'] * 1e3:.1f} ms vectorized = "
         f"{sp['speedup']:.2f}x (gate: >= {SPEEDUP_MIN_RATIO:.1f}x)"
+    )
+
+
+def _trace_line(sp: dict) -> str:
+    return (
+        f"tracing overhead over {sp['cells']} matrix cells: "
+        f"{sp['no_tracer_wall_seconds'] * 1e3:.1f} ms no tracer / "
+        f"{sp['disabled_tracer_wall_seconds'] * 1e3:.1f} ms disabled tracer "
+        f"= {sp['overhead_ratio']:.4f}x "
+        f"(gate: <= {trace_overhead_tolerance():.2f}x)"
     )
 
 
@@ -134,6 +151,12 @@ def test_sweep_speedup(once):
     assert sp["speedup"] >= SWEEP_SPEEDUP_MIN, _sweep_line(sp)
 
 
+def test_trace_overhead(once):
+    sp = once(measure_trace_overhead)
+    archive("regression_trace_overhead", _trace_line(sp))
+    assert sp["overhead_ratio"] <= trace_overhead_tolerance(), _trace_line(sp)
+
+
 # --------------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------------- #
@@ -153,7 +176,20 @@ def main(argv=None) -> int:
         help="wall-clock slack factor per cell (default: "
              "REPRO_BENCH_WALL_TOL or 4.0); 0 disables wall-clock checks",
     )
+    ap.add_argument(
+        "--trace-overhead-only", action="store_true",
+        help="run just the tracing-overhead gate (what the CI obs job runs)",
+    )
     args = ap.parse_args(argv)
+
+    if args.trace_overhead_only:
+        sp = measure_trace_overhead()
+        print(_trace_line(sp))
+        if sp["overhead_ratio"] > trace_overhead_tolerance():
+            print("REGRESSION: tracing overhead gate failed")
+            return 1
+        print("tracing overhead within tolerance")
+        return 0
 
     results = run_matrix()
     print(_matrix_table(results))
@@ -221,6 +257,14 @@ def main(argv=None) -> int:
             violations.append(
                 f"sweep runtime gate: {sweep_sp['speedup']:.2f}x < "
                 f"{SWEEP_SPEEDUP_MIN:.1f}x"
+            )
+            print(f"REGRESSION: {violations[-1]}")
+        trace_sp = measure_trace_overhead()
+        print(_trace_line(trace_sp))
+        if trace_sp["overhead_ratio"] > trace_overhead_tolerance():
+            violations.append(
+                f"tracing overhead gate: {trace_sp['overhead_ratio']:.4f}x > "
+                f"{trace_overhead_tolerance():.2f}x"
             )
             print(f"REGRESSION: {violations[-1]}")
 

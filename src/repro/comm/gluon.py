@@ -184,9 +184,13 @@ class GluonComm:
         pg: PartitionedGraph,
         fields: list[FieldSpec],
         config: CommConfig = CommConfig(),
+        tracer=None,
     ):
         self.pg = pg
         self.config = config
+        #: normalized like the engines': ``None`` unless enabled, so the
+        #: extraction wrappers pay one ``is not None`` test per call.
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         self.fields = {f.name: f for f in fields}
         if len(self.fields) != len(fields):
             raise ConfigurationError("duplicate field names")
@@ -467,11 +471,25 @@ class GluonComm:
     # ------------------------------------------------------------------ #
     # reduce
     # ------------------------------------------------------------------ #
+    def _record(self, field: str, phase: str, msgs: list[Message]) -> None:
+        """Count per-field/per-phase messages and wire bytes."""
+        if not msgs:
+            return
+        tracer = self.tracer
+        tracer.count(f"comm.{phase}.{field}.messages", len(msgs))
+        tracer.count(
+            f"comm.{phase}.{field}.bytes",
+            sum(m.wire_bytes() for m in msgs),
+        )
+
     def make_reduce_messages(
         self, field: str, pid: int, labels: list[np.ndarray]
     ) -> list[Message]:
         """Extract this partition's reduce messages (mirror -> master)."""
-        return self._extract(field, "reduce", pid, labels)
+        msgs = self._extract(field, "reduce", pid, labels)
+        if self.tracer is not None:
+            self._record(field, "reduce", msgs)
+        return msgs
 
     def apply_reduce(
         self, msg: Message, labels: list[np.ndarray]
@@ -515,7 +533,10 @@ class GluonComm:
         self, field: str, pid: int, labels: list[np.ndarray]
     ) -> list[Message]:
         """Extract this partition's broadcast messages (master -> mirrors)."""
-        return self._extract(field, "broadcast", pid, labels)
+        msgs = self._extract(field, "broadcast", pid, labels)
+        if self.tracer is not None:
+            self._record(field, "broadcast", msgs)
+        return msgs
 
     def apply_broadcast(
         self, msg: Message, labels: list[np.ndarray]

@@ -57,6 +57,7 @@ class BASPEngine:
         poll_interval: float = 1e-3,
         fault_plan=None,
         executor: str = "serial",
+        tracer=None,
     ):
         """``throttle_wait`` implements the paper's proposed *dynamic
         throttling* of asynchronous execution (Section VII): before each
@@ -79,10 +80,11 @@ class BASPEngine:
             )
         if isinstance(balancer, str):
             balancer = get_balancer(balancer)
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         self.pg = pg
         self.cluster = cluster
         self.app = app
-        self.comm = GluonComm(pg, app.fields(), comm_config)
+        self.comm = GluonComm(pg, app.fields(), comm_config, tracer=self.tracer)
         self.cost = CostModel(cluster, balancer, scale_factor)
         self.memory = MemoryModel(memory_profile, scale_factor)
         self.check_memory = check_memory
@@ -105,6 +107,18 @@ class BASPEngine:
     def run(self, ctx: RunContext) -> RunResult:
         pg, app, comm, cost = self.pg, self.app, self.comm, self.cost
         P = pg.num_partitions
+        tracer = self.tracer
+        run_ev = None
+        if tracer is not None:
+            for p in range(P):
+                tracer.thread_name(p, f"partition {p}")
+            tracer.thread_name(P, "engine")
+            run_ev = tracer.begin(
+                "basp.run",
+                "engine",
+                tid=P,
+                args={"benchmark": app.name, "dataset": pg.global_graph.name},
+            )
 
         stats = RunStats(
             benchmark=app.name,
@@ -179,6 +193,14 @@ class BASPEngine:
             apply in partition order, replaying the serial event order."""
             t = float(local_time[p])
             part = pg.parts[p]
+            r_ev = None
+            if tracer is not None:
+                r_ev = tracer.begin(
+                    "local_round",
+                    "round",
+                    tid=p,
+                    args={"local_round": int(local_rounds[p])},
+                )
             if topology:
                 frontier = app.initial_frontier(part, ctx, state[p])
                 pending[p] = []
@@ -194,7 +216,17 @@ class BASPEngine:
             did_work = False
             edges = 0
             if len(frontier):
+                c_ev = None
+                if tracer is not None:
+                    c_ev = tracer.begin(
+                        "compute",
+                        "compute",
+                        tid=p,
+                        args={"frontier_size": len(frontier)},
+                    )
                 out = app.compute(part, ctx, state[p], frontier)
+                if tracer is not None:
+                    tracer.end(c_ev, edges=out.edges_processed)
                 for fname, ids in out.updated.items():
                     if len(ids):
                         comm.mark_updated(fname, p, ids)
@@ -249,6 +281,8 @@ class BASPEngine:
             had_frontier = bool(len(frontier))
             if topology and not did_work and not had_frontier:
                 residual[p] = 0.0
+            if tracer is not None:
+                tracer.end(r_ev, messages=len(out_msgs), did_work=did_work)
             return t, out_msgs, arrivals, pr, edges, did_work, had_frontier
 
         while True:
@@ -312,6 +346,14 @@ class BASPEngine:
                 self.fault_plan.check(p, int(local_rounds[p]))
             t = float(local_time[p])
             part = pg.parts[p]
+            r_ev = None
+            if tracer is not None:
+                r_ev = tracer.begin(
+                    "local_round",
+                    "round",
+                    tid=p,
+                    args={"local_round": int(local_rounds[p])},
+                )
 
             if self.throttle_wait > 0.0:
                 # dynamic async throttle: linger so straggler messages
@@ -359,7 +401,17 @@ class BASPEngine:
             did_work = False
             # -------- compute phase -------------------------------------- #
             if len(frontier):
+                c_ev = None
+                if tracer is not None:
+                    c_ev = tracer.begin(
+                        "compute",
+                        "compute",
+                        tid=p,
+                        args={"frontier_size": len(frontier)},
+                    )
                 out = app.compute(part, ctx, state[p], frontier)
+                if tracer is not None:
+                    tracer.end(c_ev, edges=out.edges_processed)
                 for fname, ids in out.updated.items():
                     if len(ids):
                         comm.mark_updated(fname, p, ids)
@@ -431,6 +483,13 @@ class BASPEngine:
                     in_flight += 1
                 did_work = True
 
+            if tracer is not None:
+                tracer.end(
+                    r_ev,
+                    messages=len(out_msgs),
+                    drained=len(drained_candidates),
+                    did_work=did_work,
+                )
             if did_work or len(frontier):
                 local_rounds[p] += 1
             local_time[p] = t
@@ -457,6 +516,32 @@ class BASPEngine:
         stats.device_comm = max(
             stats.execution_time - stats.max_compute - stats.min_wait, 0.0
         )
+        if tracer is not None:
+            tracer.instant(
+                "round_sim",
+                "round",
+                tid=P,
+                args={
+                    "compute_s": compute_t.tolist(),
+                    "wait_s": wait_t.tolist(),
+                    "device_s": device_t.tolist(),
+                },
+            )
+            tracer.instant(
+                "run_summary",
+                "run",
+                tid=P,
+                args={
+                    "execution_time": stats.execution_time,
+                    "max_compute": stats.max_compute,
+                    "min_wait": stats.min_wait,
+                    "device_comm": stats.device_comm,
+                    "rounds": stats.rounds,
+                    "num_messages": stats.num_messages,
+                    "comm_volume_bytes": stats.comm_volume_bytes,
+                },
+            )
+            tracer.end(run_ev, rounds=stats.rounds)
         labels = pg.gather_master_labels(
             [state[p][app.output_field] for p in range(P)]
         )

@@ -53,6 +53,7 @@ class BSPEngine:
         recorder=None,
         fault_plan=None,
         executor: str = "serial",
+        tracer=None,
     ):
         """``overlap_comm`` in [0, 1] hides that fraction of each round's
         host-device communication under the computation phase (async
@@ -63,7 +64,10 @@ class BSPEngine:
         per-partition compute phase is dispatched: ``"serial"`` (the
         reference loop) or ``"threads"`` (a shared ``ThreadPoolExecutor``;
         numpy kernels release the GIL).  Threaded results are merged in
-        fixed partition order, so runs are bit-identical either way."""
+        fixed partition order, so runs are bit-identical either way.
+        ``tracer`` (a :class:`repro.obs.Tracer`) records per-round
+        compute/sync/wait spans; disabled tracers are normalized to
+        ``None`` so the hot loops pay one ``is not None`` test."""
         if isinstance(balancer, str):
             balancer = get_balancer(balancer)
         if not 0.0 <= overlap_comm <= 1.0:
@@ -72,10 +76,11 @@ class BSPEngine:
             raise ConfigurationError(
                 f"executor must be 'serial' or 'threads', got {executor!r}"
             )
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         self.pg = pg
         self.cluster = cluster
         self.app = app
-        self.comm = GluonComm(pg, app.fields(), comm_config)
+        self.comm = GluonComm(pg, app.fields(), comm_config, tracer=self.tracer)
         self.cost = CostModel(cluster, balancer, scale_factor)
         self.memory = MemoryModel(memory_profile, scale_factor)
         self.check_memory = check_memory
@@ -88,6 +93,11 @@ class BSPEngine:
     def run(self, ctx: RunContext) -> RunResult:
         pg, app, comm, cost = self.pg, self.app, self.comm, self.cost
         P = pg.num_partitions
+        tracer = self.tracer
+        if tracer is not None:
+            for p in range(P):
+                tracer.thread_name(p, f"partition {p}")
+            tracer.thread_name(P, "engine")
 
         stats = RunStats(
             benchmark=app.name,
@@ -118,10 +128,40 @@ class BSPEngine:
         plan = app.sync_plan()
         activating = app.activating_fields()
 
+        rnd = 0
+
+        def _compute(p):
+            # Wraps app.compute in a per-(round, partition) span; used by
+            # both dispatch paths only when tracing is on.  Reads ``rnd``
+            # and ``frontier`` from the enclosing scope at call time.
+            ev = tracer.begin(
+                "compute",
+                "compute",
+                tid=p,
+                args={"round": rnd, "frontier_size": len(frontier[p])},
+            )
+            out = app.compute(pg.parts[p], ctx, state[p], frontier[p])
+            tracer.end(ev, edges=out.edges_processed)
+            return out
+
+        run_ev = None
+        if tracer is not None:
+            run_ev = tracer.begin(
+                "bsp.run",
+                "engine",
+                tid=P,
+                args={"benchmark": app.name, "dataset": pg.global_graph.name},
+            )
+
         for rnd in range(ctx.max_rounds):
             active = sum(len(f) for f in frontier)
             if app.driven == "data" and active == 0:
                 break
+            round_ev = None
+            if tracer is not None:
+                round_ev = tracer.begin(
+                    f"round {rnd}", "round", tid=P, args={"active": active}
+                )
 
             compute_t = np.zeros(P)
             device_t = np.zeros(P)
@@ -142,12 +182,10 @@ class BSPEngine:
                         self.fault_plan.check(p, rnd)
                 from repro.runtime.executors import thread_map
 
-                outs = thread_map(
-                    lambda p: app.compute(
-                        pg.parts[p], ctx, state[p], frontier[p]
-                    ),
-                    active_ps,
+                fn = _compute if tracer is not None else (
+                    lambda p: app.compute(pg.parts[p], ctx, state[p], frontier[p])
                 )
+                outs = thread_map(fn, active_ps)
             else:
                 active_set = set(active_ps)
                 outs = []
@@ -155,9 +193,12 @@ class BSPEngine:
                     if self.fault_plan is not None:
                         self.fault_plan.check(p, rnd)
                     if p in active_set:
-                        outs.append(
-                            app.compute(pg.parts[p], ctx, state[p], frontier[p])
-                        )
+                        if tracer is not None:
+                            outs.append(_compute(p))
+                        else:
+                            outs.append(
+                                app.compute(pg.parts[p], ctx, state[p], frontier[p])
+                            )
             # merge in fixed partition order: dirty bits, candidate sets,
             # and the float accumulations happen in the same sequence as
             # the serial reference loop, so results are bit-identical
@@ -181,6 +222,11 @@ class BSPEngine:
 
             for step in plan:
                 if step.kind == "master":
+                    m_ev = None
+                    if tracer is not None:
+                        m_ev = tracer.begin(
+                            "master", "sync", tid=P, args={"round": rnd}
+                        )
                     for p in range(P):
                         mout = app.master_compute(pg.parts[p], ctx, state[p])
                         for fname, ids in mout.updated.items():
@@ -193,10 +239,20 @@ class BSPEngine:
                             len(i) for i in mout.updated.values()
                         )
                         compute_t[p] += cost.master_time(p, touched)
+                    if tracer is not None:
+                        tracer.end(m_ev)
                     continue
 
                 field = step.field
                 labels = views[field]
+                s_ev = None
+                if tracer is not None:
+                    s_ev = tracer.begin(
+                        f"sync:{step.kind}:{field}",
+                        "sync",
+                        tid=P,
+                        args={"round": rnd},
+                    )
                 # Extract every partition's messages first, then price the
                 # whole step in one vectorized pass.  Safe to reorder
                 # against the applies: extraction send sets (mirrors for
@@ -210,6 +266,8 @@ class BSPEngine:
                     else:
                         msgs += comm.make_broadcast_messages(field, p, labels)
                 if not msgs:
+                    if tracer is not None:
+                        tracer.end(s_ev, messages=0)
                     continue
                 # Scalar-reference mode prices per message, like the
                 # pre-batching code; per-message Python otherwise survives
@@ -223,7 +281,8 @@ class BSPEngine:
                 np.add.at(recv_t, pr.dst, pr.h2d)
                 np.add.at(inter_m, (pr.src, pr.dst), pr.inter)
                 has_msg[pr.src, pr.dst] = True
-                comm_bytes += float(pr.scaled_bytes.sum())
+                step_bytes = float(pr.scaled_bytes.sum())
+                comm_bytes += step_bytes
                 n_msgs += len(msgs)
                 for msg in msgs:
                     if step.kind == "reduce":
@@ -232,6 +291,8 @@ class BSPEngine:
                         ch = comm.apply_broadcast(msg, labels)
                     if len(ch) and field in activating:
                         candidates[msg.header.dst].append(ch)
+                if tracer is not None:
+                    tracer.end(s_ev, messages=len(msgs), bytes=step_bytes)
 
             # ---------------- round timing ------------------------------ #
             # with overlap, part of the host-device traffic hides under the
@@ -267,6 +328,28 @@ class BSPEngine:
             stats.accumulate_round(rec)
             if self.recorder is not None:
                 self.recorder.on_round(rec)
+            if tracer is not None:
+                # Simulated per-phase seconds ride along as an instant so
+                # `repro-trace summarize` can rebuild the paper's stacked
+                # breakdown; the spans themselves are wall-timed.
+                tracer.instant(
+                    "round_sim",
+                    "round",
+                    tid=P,
+                    args={
+                        "round": rnd,
+                        "compute_s": compute_t.tolist(),
+                        "wait_s": wait.tolist(),
+                        "device_s": device_t.tolist(),
+                        "duration_s": duration,
+                    },
+                )
+                tracer.end(
+                    round_ev,
+                    messages=n_msgs,
+                    bytes=comm_bytes,
+                    edges=edges,
+                )
 
             # ---------------- next frontier ----------------------------- #
             if app.driven == "data":
@@ -299,6 +382,22 @@ class BSPEngine:
         stats.local_rounds_min = stats.rounds
         stats.local_rounds_max = stats.rounds
         stats.finalize_breakdown()
+        if tracer is not None:
+            tracer.instant(
+                "run_summary",
+                "run",
+                tid=P,
+                args={
+                    "execution_time": stats.execution_time,
+                    "max_compute": stats.max_compute,
+                    "min_wait": stats.min_wait,
+                    "device_comm": stats.device_comm,
+                    "rounds": stats.rounds,
+                    "num_messages": stats.num_messages,
+                    "comm_volume_bytes": stats.comm_volume_bytes,
+                },
+            )
+            tracer.end(run_ev, rounds=stats.rounds)
         labels = pg.gather_master_labels(
             [state[p][app.output_field] for p in range(P)]
         )

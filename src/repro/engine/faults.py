@@ -32,7 +32,9 @@ class FaultPlan:
         due = self.crashes.get(pid)
         if due is not None and round_index >= due:
             raise SimulatedCrashError(
-                f"GPU {pid} crashed at round {round_index} (fault plan)"
+                f"GPU {pid} crashed at round {round_index} (fault plan)",
+                gpu_index=pid,
+                round_index=round_index,
             )
 
     def __bool__(self) -> bool:

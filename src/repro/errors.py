@@ -68,4 +68,24 @@ class SimulatedOOMError(ReproError):
 
 
 class SimulatedCrashError(ReproError):
-    """A framework facade models a configuration the real system crashed on."""
+    """A framework facade models a configuration the real system crashed on.
+
+    Like :class:`SimulatedOOMError` this is a data point, not a bug: the
+    paper's figures have points missing because "the benchmarks failed
+    ... due to crashes".  The crash site is preserved so drivers (and
+    :class:`repro.runtime.cells.CellOutcome`) can report *where* the
+    simulated run died, not just that it did.
+
+    Attributes
+    ----------
+    gpu_index:
+        Index of the GPU (partition) that crashed, or ``None`` if the
+        crash is not attributed to a specific device.
+    round_index:
+        (Local) round at which the crash fired, or ``None``.
+    """
+
+    def __init__(self, message: str, gpu_index=None, round_index=None):
+        self.gpu_index = None if gpu_index is None else int(gpu_index)
+        self.round_index = None if round_index is None else int(round_index)
+        super().__init__(message)

@@ -102,13 +102,19 @@ class Framework(ABC):
         platform: str | Cluster = "bridges",
         check_memory: bool = True,
         engine_executor: str = "serial",
+        fault_plan=None,
+        tracer=None,
         **ctx_overrides,
     ) -> RunResult:
         """Run one benchmark the way this framework would.
 
         ``engine_executor`` selects the engine's compute-phase dispatch
         (``"serial"`` or ``"threads"``); results are bit-identical either
-        way (see the engine docstrings).
+        way (see the engine docstrings).  ``fault_plan`` (a
+        :class:`repro.engine.faults.FaultPlan`) injects deterministic
+        simulated crashes.  ``tracer`` attaches a :class:`repro.obs.Tracer`
+        to the engine; when omitted, the ambient tracer installed via
+        :func:`repro.obs.set_tracer` (if any) is used.
 
         Raises
         ------
@@ -117,7 +123,13 @@ class Framework(ABC):
         SimulatedOOMError
             when a partition exceeds GPU memory at paper scale — recorded
             by the study drivers as a missing data point.
+        SimulatedCrashError
+            when the fault plan fires — the study's "crashed" points.
         """
+        if tracer is None:
+            from repro import obs
+
+            tracer = obs.current_tracer()
         app = self.resolve_app(app_name)
         cluster = self.make_cluster(num_gpus, platform)
         graph = dataset.symmetric() if app.needs_symmetric else dataset.graph
@@ -139,6 +151,8 @@ class Framework(ABC):
             memory_profile=self.memory_profile,
             check_memory=check_memory,
             executor=engine_executor,
+            fault_plan=fault_plan,
+            tracer=tracer,
         )
         result = engine.run(ctx)
         result.stats.benchmark = app_name

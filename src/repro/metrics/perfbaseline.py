@@ -55,11 +55,14 @@ __all__ = [
     "SPEEDUP_CELL",
     "SPEEDUP_MIN_RATIO",
     "SWEEP_SPEEDUP_MIN",
+    "TRACE_OVERHEAD_MAX",
     "cell_key",
     "matrix_keys",
     "run_cell",
     "run_matrix",
     "measure_speedup",
+    "measure_trace_overhead",
+    "trace_overhead_tolerance",
     "sweep_specs",
     "run_sweep",
     "measure_sweep_speedup",
@@ -97,6 +100,15 @@ SPEEDUP_REPS = 5
 
 #: Minimum scalar/vectorized wall-clock ratio the speedup gate enforces.
 SPEEDUP_MIN_RATIO = 3.0
+
+#: Maximum disabled-tracer / no-tracer wall-clock ratio the tracing
+#: overhead gate enforces (< 2% overhead with tracing off); override
+#: with the ``REPRO_TRACE_OVERHEAD_TOL`` environment variable.
+TRACE_OVERHEAD_MAX = 1.02
+
+#: Timing repetitions per leg in :func:`measure_trace_overhead`
+#: (per-cell best-of, both legs run back to back per cell).
+TRACE_OVERHEAD_REPS = 5
 
 #: Relative tolerance for simulated (machine-independent) float metrics.
 SIM_RTOL = 1e-6
@@ -207,6 +219,7 @@ def run_cell(
     engine: str,
     comm: str,
     use_scalar_extraction: bool = False,
+    tracer=None,
 ) -> CellResult:
     """Run one cell and collect its measurements."""
     if engine not in _ENGINES:
@@ -220,6 +233,7 @@ def run_cell(
         app,
         comm_config=_COMM_CONFIGS[comm],
         check_memory=False,
+        tracer=tracer,
     )
     eng.comm.use_scalar_extraction = use_scalar_extraction
     start = time.perf_counter()
@@ -290,6 +304,67 @@ def measure_speedup(reps: int = SPEEDUP_REPS) -> dict:
         "scalar_wall_seconds": min(scalar_wall),
         "vectorized_wall_seconds": min(vec_wall),
         "speedup": min(scalar_wall) / max(min(vec_wall), 1e-12),
+    }
+
+
+def trace_overhead_tolerance() -> float:
+    return float(os.environ.get("REPRO_TRACE_OVERHEAD_TOL", TRACE_OVERHEAD_MAX))
+
+
+def measure_trace_overhead(reps: int = TRACE_OVERHEAD_REPS) -> dict:
+    """Wall-clock of the matrix with no tracer vs a *disabled* tracer.
+
+    This is the zero-overhead-when-disabled gate for :mod:`repro.obs`:
+    every engine normalizes a disabled tracer to ``None``, so attaching
+    one must cost nothing beyond the normalization itself.  The two legs
+    of each matrix cell run **back to back** (so both see the same
+    machine state — container clocks are bursty enough that whole-leg
+    totals of identical code can swing ±10%), and each leg's total is
+    the sum of per-cell best-of-``reps`` wall-clocks, which converge on
+    each cell's true floor.  Deterministic metrics of both legs must
+    agree exactly: a disabled tracer may not change results any more
+    than it may change speed.
+    """
+    from repro.obs import Tracer
+
+    workload = _Workload(MATRIX_GRAPH)
+    keys = [
+        (a, p, e, c)
+        for a in MATRIX_APPS
+        for p in MATRIX_POLICIES
+        for e in MATRIX_ENGINES
+        for c in MATRIX_COMMS
+    ]
+
+    # warm-up: partitions, memoized sync plans, allocator steady state
+    reference = {}
+    for a, p, e, c in keys:
+        cell = run_cell(workload, a, p, e, c)
+        reference[cell.key] = cell.deterministic_fields()
+    off_best: dict[str, float] = {}
+    disabled_best: dict[str, float] = {}
+    for _ in range(max(1, int(reps))):
+        for a, p, e, c in keys:
+            for tracer, best in (
+                (None, off_best),
+                (Tracer(enabled=False), disabled_best),
+            ):
+                cell = run_cell(workload, a, p, e, c, tracer=tracer)
+                if cell.deterministic_fields() != reference[cell.key]:
+                    raise ConfigurationError(
+                        "disabled tracer changed deterministic results on "
+                        f"{cell.key}: {cell.deterministic_fields()} vs "
+                        f"{reference[cell.key]}"
+                    )
+                best[cell.key] = min(
+                    cell.wall_seconds, best.get(cell.key, cell.wall_seconds)
+                )
+    off, disabled = sum(off_best.values()), sum(disabled_best.values())
+    return {
+        "cells": len(keys),
+        "no_tracer_wall_seconds": off,
+        "disabled_tracer_wall_seconds": disabled,
+        "overhead_ratio": disabled / max(off, 1e-12),
     }
 
 

@@ -69,6 +69,22 @@ class Recorder:
                 f.write(text)
         return text
 
+    def totals(self) -> dict[str, float]:
+        """Run-level counter totals in :class:`repro.obs.CounterRegistry`
+        naming — feed to ``registry.update(recorder.totals())`` to unify
+        per-round telemetry with the tracer's counters."""
+        return {
+            "engine.rounds": len(self.rounds),
+            "engine.messages": sum(r.messages for r in self.rounds),
+            "engine.comm_bytes": sum(r.comm_bytes for r in self.rounds),
+            "engine.edges_processed": sum(
+                r.edges_processed for r in self.rounds
+            ),
+            "engine.active_vertices": sum(
+                r.active_vertices for r in self.rounds
+            ),
+        }
+
     # ------------------------------------------------------------------ #
     # round-shape analyses used by the study's narrative
     # ------------------------------------------------------------------ #

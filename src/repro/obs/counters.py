@@ -1,0 +1,74 @@
+"""Unified named counters for the tracing/observability layer.
+
+Counters were previously ad hoc: :class:`repro.partition.cache.CacheStats`
+keeps four ints of its own, and :class:`repro.metrics.Recorder` sums per
+round quantities on demand.  :class:`CounterRegistry` gives every layer one
+thread-safe place to accumulate named monotonic counters; the exporters
+emit them as Chrome ``C`` (counter) events and CSV rows, and
+``repro-trace summarize`` folds them into its per-phase table.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+__all__ = ["CounterRegistry"]
+
+
+class CounterRegistry:
+    """Thread-safe map of counter name -> numeric value.
+
+    ``add`` is the hot call and takes one lock acquisition; values are
+    plain ints/floats so a registry snapshot is JSON-serializable as-is.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment ``name`` by ``value`` (creating it at 0)."""
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + value
+
+    def set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._values[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._values.get(name, default)
+
+    def update(self, values: Mapping[str, float], prefix: str = "") -> None:
+        """Fold a mapping of counters in (adding, not overwriting)."""
+        with self._lock:
+            for k, v in values.items():
+                key = f"{prefix}{k}"
+                self._values[key] = self._values.get(key, 0) + v
+
+    def merge_cache_stats(self, stats, prefix: str = "partition.cache.") -> None:
+        """Fold a :class:`repro.partition.cache.CacheStats` snapshot in —
+        the previously free-floating cache counters land in the same
+        namespace the tracer exports."""
+        self.update(
+            {
+                "memory_hits": stats.memory_hits,
+                "disk_hits": stats.disk_hits,
+                "builds": stats.builds,
+                "stores": stats.stores,
+            },
+            prefix=prefix,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._values

@@ -1,0 +1,146 @@
+"""Structured tracing: span and instant events with counters.
+
+A :class:`Tracer` records Chrome-trace-event-compatible events — complete
+spans (``ph="X"``), instants (``ph="i"``), and, at export time, counters
+(``ph="C"``) — with microsecond timestamps relative to the tracer's
+creation.  Design constraints, in order:
+
+* **zero overhead when disabled** — a disabled tracer (or no tracer at
+  all) must not cost the engine hot loops anything.  Instrumentation
+  sites therefore normalize ``tracer`` to ``None`` unless it is enabled
+  (see e.g. ``BSPEngine.__init__``) and guard with one ``is not None``
+  check; a disabled ``Tracer`` additionally returns ``None`` from
+  :meth:`begin` so stray un-normalized call sites also no-op;
+* **thread-safe** — the engines' ``executor="threads"`` mode and the BASP
+  independent-round dispatch record spans from worker threads;
+* **null-object friendly** — every method is safe to call on a disabled
+  tracer, so call sites never need enabled checks for correctness, only
+  for speed.
+
+Events are plain dicts in Chrome trace-event field names (``name``,
+``cat``, ``ph``, ``ts``, ``dur``, ``pid``, ``tid``, ``args``), so export
+is a ``json.dump`` away (:mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.obs.counters import CounterRegistry
+
+__all__ = ["Tracer", "NULL_TRACER"]
+
+
+class Tracer:
+    """Collects span/instant events and counters for one run or cell."""
+
+    def __init__(self, enabled: bool = True, pid: Optional[int] = None):
+        self.enabled = bool(enabled)
+        #: Chrome-trace process id; defaults to the OS pid so traces from
+        #: different sweep workers stay distinguishable after merging.
+        self.pid = os.getpid() if pid is None else int(pid)
+        self.counters = CounterRegistry()
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+        self._thread_names: dict[int, str] = {}
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    def now_us(self) -> float:
+        """Microseconds since this tracer was created."""
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def thread_name(self, tid: int, name: str) -> None:
+        """Label a ``tid`` lane (exported as an ``M`` metadata event)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._thread_names[int(tid)] = name
+
+    # ------------------------------------------------------------------ #
+    # spans
+    # ------------------------------------------------------------------ #
+    def begin(self, name: str, cat: str, tid: int = 0, args: Optional[dict] = None):
+        """Open a span; returns an event handle for :meth:`end` (``None``
+        when disabled, which :meth:`end` accepts silently)."""
+        if not self.enabled:
+            return None
+        return {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "pid": self.pid,
+            "tid": int(tid),
+            "ts": self.now_us(),
+            "args": dict(args) if args else {},
+        }
+
+    def end(self, event, **args) -> None:
+        """Close a span opened by :meth:`begin`; extra kwargs merge into
+        the span's ``args``."""
+        if event is None:
+            return
+        event["dur"] = self.now_us() - event["ts"]
+        if args:
+            event["args"].update(args)
+        with self._lock:
+            self._events.append(event)
+
+    @contextmanager
+    def span(self, name: str, cat: str, tid: int = 0, args: Optional[dict] = None):
+        """Context-manager form of :meth:`begin`/:meth:`end` for cold
+        paths (cell lifecycle, cache builds); hot loops use begin/end."""
+        event = self.begin(name, cat, tid=tid, args=args)
+        try:
+            yield event
+        finally:
+            self.end(event)
+
+    # ------------------------------------------------------------------ #
+    # instants and counters
+    # ------------------------------------------------------------------ #
+    def instant(self, name: str, cat: str, tid: int = 0, args: Optional[dict] = None) -> None:
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",  # thread-scoped instant
+            "pid": self.pid,
+            "tid": int(tid),
+            "ts": self.now_us(),
+            "args": dict(args) if args else {},
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Bump a named counter (exported as a ``C`` event)."""
+        if not self.enabled:
+            return
+        self.counters.add(name, value)
+
+    # ------------------------------------------------------------------ #
+    def events(self) -> list[dict]:
+        """Snapshot of recorded events (chronological per thread)."""
+        with self._lock:
+            return list(self._events)
+
+    def thread_names(self) -> dict[int, str]:
+        with self._lock:
+            return dict(self._thread_names)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+#: Shared do-nothing tracer: safe to call, records nothing.  Call sites
+#: that want speed rather than mere safety should normalize to ``None``
+#: and skip instrumentation entirely (see the engine constructors).
+NULL_TRACER = Tracer(enabled=False)

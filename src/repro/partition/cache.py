@@ -24,6 +24,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.graph.csr import CSRGraph
 from repro.partition.base import PartitionedGraph
 from repro.partition.io import load_partitions, save_partitions
@@ -97,24 +98,41 @@ class PartitionCache:
         a full miss.
         """
         key = self.key_for(graph, policy, num_partitions)
+        tracer = obs.current_tracer()
+        tr_args = {"policy": policy, "num_partitions": num_partitions}
         with self._lock:
             pg = self._lru.get(key)
             if pg is not None:
                 self._lru.move_to_end(key)
                 self.stats.memory_hits += 1
+                if tracer is not None:
+                    tracer.count("partition.cache.memory_hits")
+                    tracer.instant("cache.memory_hit", "cache", args=tr_args)
                 return pg
         path = self._disk_path(key)
         if path and os.path.exists(path):
+            ev = None
+            if tracer is not None:
+                ev = tracer.begin("cache.disk_load", "cache", args=tr_args)
             try:
                 pg = load_partitions(path, graph)
             except Exception:  # corrupt/stale file: rebuild below
                 log.warning("discarding unreadable cache file %s", path)
             else:
                 self.stats.disk_hits += 1
+                if tracer is not None:
+                    tracer.end(ev)
+                    tracer.count("partition.cache.disk_hits")
                 self._remember(key, pg)
                 return pg
+        ev = None
+        if tracer is not None:
+            ev = tracer.begin("cache.build", "cache", args=tr_args)
         pg = builder(graph, num_partitions)
         self.stats.builds += 1
+        if tracer is not None:
+            tracer.end(ev)
+            tracer.count("partition.cache.builds")
         self._remember(key, pg)
         if path:
             self._store(path, pg)
@@ -129,6 +147,10 @@ class PartitionCache:
 
     def _store(self, path: str, pg: PartitionedGraph) -> None:
         """Atomic write: tmp file in the same directory, then replace."""
+        tracer = obs.current_tracer()
+        ev = None
+        if tracer is not None:
+            ev = tracer.begin("cache.store", "cache")
         try:
             # suffix must end in .npz or np.savez would append it and write
             # to a different path than we later os.replace() from
@@ -148,6 +170,9 @@ class PartitionCache:
             log.warning("could not persist partitions to %s: %s", path, e)
             return
         self.stats.stores += 1
+        if tracer is not None:
+            tracer.end(ev)
+            tracer.count("partition.cache.stores")
 
     # ------------------------------------------------------------------ #
     def clear_memory(self) -> None:

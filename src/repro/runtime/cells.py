@@ -23,6 +23,8 @@ pays for loading and partitioning once.
 
 from __future__ import annotations
 
+import os
+import re
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -30,7 +32,12 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
+from repro.errors import (
+    ReproError,
+    SimulatedCrashError,
+    SimulatedOOMError,
+    UnsupportedFeatureError,
+)
 
 __all__ = [
     "SystemSpec",
@@ -102,6 +109,9 @@ class CellSpec:
     ctx_overrides: tuple = ()
     engine_executor: str = "serial"
     keep_labels: bool = False
+    #: deterministic crash schedule as ``((gpu_index, round_index), ...)``;
+    #: converted to an :class:`~repro.engine.faults.FaultPlan` at run time.
+    fault_plan: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -124,7 +134,7 @@ class CellOutcome:
     stats: Any = None  # RunStats for CellSpec tasks
     pstats: Any = None  # PartitionStats for PartitionStatsSpec tasks
     failure: str = ""
-    failure_kind: str = ""  # "" | "oom" | "unsupported" | "error"
+    failure_kind: str = ""  # "" | "oom" | "unsupported" | "crash" | "error"
     elapsed: float = 0.0
     partition_builds: int = 0
     labels_crc: Optional[int] = None
@@ -137,7 +147,7 @@ class CellOutcome:
 
     def failure_label(self) -> str:
         """The driver-facing failure string (matches ``ScalingPoint``)."""
-        if self.failure_kind in ("oom", "unsupported"):
+        if self.failure_kind in ("oom", "unsupported", "crash"):
             return f"{self.failure_kind}: {self.failure}"
         return self.failure
 
@@ -151,14 +161,33 @@ class CellOutcome:
             raise ReproError(self.failure)
         if self.failure_kind == "unsupported":
             raise UnsupportedFeatureError(self.failure)
+        if self.failure_kind == "crash":
+            args = self.extra.get("crash_args")
+            if args is not None:
+                raise SimulatedCrashError(*args)
+            raise SimulatedCrashError(self.failure)
         if self.failure_kind:
             raise ReproError(self.failure)
+
+
+def _slug(key: Any) -> str:
+    """Filename-safe form of a cell key (keys are often tuples)."""
+    text = "-".join(str(p) for p in key) if isinstance(key, tuple) else str(key)
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "cell"
 
 
 def run_task(spec: CellSpec | PartitionStatsSpec) -> CellOutcome:
     """Execute one spec in this process, catching the simulated-failure
     hierarchy exactly as the serial drivers do.  Non-``ReproError``
-    exceptions propagate: those are bugs, not missing data points."""
+    exceptions propagate: those are bugs, not missing data points.
+
+    When a trace directory is configured (``repro-study --trace`` /
+    :func:`repro.obs.configure`) and no ambient tracer is already
+    installed, a per-cell :class:`~repro.obs.Tracer` is created, made
+    ambient for the duration so the engines and partition cache record
+    into it, and exported to ``<trace_dir>/<key>.trace.json``.
+    """
+    from repro import obs
     from repro.generators.datasets import load_dataset
     from repro.partition import partition, partition_stats
     from repro.partition.cache import get_cache
@@ -166,42 +195,82 @@ def run_task(spec: CellSpec | PartitionStatsSpec) -> CellOutcome:
     t0 = time.perf_counter()
     builds0 = get_cache().stats.builds
     out = CellOutcome(key=spec.key)
+
+    tracer = obs.current_tracer()
+    trace_dir = obs.active_trace_dir()
+    own_tracer = None
+    if tracer is None and trace_dir is not None:
+        own_tracer = obs.Tracer()
+        tracer = own_tracer
+        obs.set_tracer(own_tracer)
+    cell_ev = None
+    if tracer is not None:
+        cell_ev = tracer.begin(
+            "cell", "cell", args={"key": str(spec.key), "dataset": spec.dataset}
+        )
     try:
-        ds = load_dataset(spec.dataset)
-        if isinstance(spec, PartitionStatsSpec):
-            graph = ds.symmetric() if spec.symmetric else ds.graph
-            out.pstats = partition_stats(
-                partition(graph, spec.policy, spec.num_gpus)
-            )
-        else:
-            fw = spec.system.build()
-            res = fw.run(
-                spec.benchmark,
-                ds,
-                spec.num_gpus,
-                platform=spec.platform,
-                check_memory=spec.check_memory,
-                engine_executor=spec.engine_executor,
-                **dict(spec.ctx_overrides),
-            )
-            out.stats = res.stats
-            out.labels_crc = int(
-                zlib.crc32(np.ascontiguousarray(res.labels).tobytes())
-            )
-            if spec.keep_labels:
-                out.labels = res.labels
-                out.extra = res.extra
-    except SimulatedOOMError as e:
-        out.failure, out.failure_kind = str(e), "oom"
-        # Keep the constructor args so raise_failure can rebuild the
-        # exact exception (its __init__ does not take a message string).
-        out.extra = {
-            "oom_args": (e.gpu_index, e.required_bytes, e.capacity_bytes)
-        }
-    except UnsupportedFeatureError as e:
-        out.failure, out.failure_kind = str(e), "unsupported"
-    except ReproError as e:
-        out.failure, out.failure_kind = str(e), "error"
+        try:
+            ds = load_dataset(spec.dataset)
+            if isinstance(spec, PartitionStatsSpec):
+                graph = ds.symmetric() if spec.symmetric else ds.graph
+                out.pstats = partition_stats(
+                    partition(graph, spec.policy, spec.num_gpus)
+                )
+            else:
+                fw = spec.system.build()
+                run_kwargs = dict(spec.ctx_overrides)
+                if spec.fault_plan:
+                    from repro.engine.faults import FaultPlan
+
+                    run_kwargs["fault_plan"] = FaultPlan(dict(spec.fault_plan))
+                res = fw.run(
+                    spec.benchmark,
+                    ds,
+                    spec.num_gpus,
+                    platform=spec.platform,
+                    check_memory=spec.check_memory,
+                    engine_executor=spec.engine_executor,
+                    **run_kwargs,
+                )
+                out.stats = res.stats
+                out.labels_crc = int(
+                    zlib.crc32(np.ascontiguousarray(res.labels).tobytes())
+                )
+                if spec.keep_labels:
+                    out.labels = res.labels
+                    out.extra = dict(res.extra)
+        except SimulatedOOMError as e:
+            out.failure, out.failure_kind = str(e), "oom"
+            # Keep the constructor args so raise_failure can rebuild the
+            # exact exception (its __init__ does not take a message string).
+            out.extra = {
+                "oom_args": (e.gpu_index, e.required_bytes, e.capacity_bytes)
+            }
+        except UnsupportedFeatureError as e:
+            out.failure, out.failure_kind = str(e), "unsupported"
+        except SimulatedCrashError as e:
+            out.failure, out.failure_kind = str(e), "crash"
+            # Same treatment as OOM: keep the crash site so raise_failure
+            # and the drivers report where the simulated run died.
+            out.extra = {"crash_args": (str(e), e.gpu_index, e.round_index)}
+        except ReproError as e:
+            out.failure, out.failure_kind = str(e), "error"
+    finally:
+        if own_tracer is not None:
+            obs.set_tracer(None)
     out.partition_builds = get_cache().stats.builds - builds0
     out.elapsed = time.perf_counter() - t0
+    out.extra["worker_pid"] = os.getpid()
+    if tracer is not None:
+        tracer.end(
+            cell_ev,
+            ok=out.ok,
+            failure_kind=out.failure_kind,
+            partition_builds=out.partition_builds,
+            worker_pid=os.getpid(),
+        )
+        if own_tracer is not None and trace_dir is not None:
+            path = os.path.join(trace_dir, f"{_slug(spec.key)}.trace.json")
+            obs.write_chrome(own_tracer, path, process_name=f"cell {spec.key}")
+            out.extra["trace_path"] = path
     return out

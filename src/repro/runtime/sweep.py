@@ -7,15 +7,19 @@ drivers iterate outcomes exactly as they would have iterated their
 nested loops — while completing cells in any order underneath.
 
 Worker processes are initialized once with the sweep's partition cache
-directory; combined with the ``lru_cache``'d dataset loader and the
-in-memory partition LRU, a worker that draws many cells of one dataset
-loads and partitions it once.  With the (default, where available)
-``fork`` start method, workers also inherit every dataset and partition
-already warm in the parent.
+directory (and trace directory, when tracing is on); combined with the
+``lru_cache``'d dataset loader and the in-memory partition LRU, a worker
+that draws many cells of one dataset loads and partitions it once.  With
+the (default, where available) ``fork`` start method, workers also
+inherit every dataset and partition already warm in the parent.
 
 ``jobs <= 1`` runs everything serially in-process (no pool, identical
 results); a broken pool (a worker killed by the OS) degrades to the same
-serial path for the cells that remain unaccounted for.
+serial path for the cells that remain unaccounted for — outcomes already
+harvested from the pool are kept, not re-run.  A real exception from a
+cell (a bug, not a simulated failure) cancels the queued cells and shuts
+the pool down before propagating, so a failed sweep does not leave
+orphan workers grinding through the rest of the matrix.
 """
 
 from __future__ import annotations
@@ -46,11 +50,14 @@ def default_start_method() -> str:
     return multiprocessing.get_start_method()
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
+def _worker_init(cache_dir: Optional[str], trace_dir: Optional[str] = None) -> None:
+    from repro import obs
     from repro.partition.cache import configure, get_cache
 
     if cache_dir is not None and get_cache().cache_dir != cache_dir:
         configure(cache_dir=cache_dir)
+    if trace_dir is not None and obs.active_trace_dir() != trace_dir:
+        obs.configure(trace_dir=trace_dir)
 
 
 class SweepExecutor:
@@ -66,6 +73,10 @@ class SweepExecutor:
     engine_executor:
         compute-phase dispatch stamped onto every :class:`CellSpec`
         (``"serial"`` or ``"threads"``); results are bit-identical.
+    trace_dir:
+        when set, every cell writes a Chrome trace JSON here (see
+        :mod:`repro.obs`); workers inherit the setting through the pool
+        initializer.
     """
 
     def __init__(
@@ -74,15 +85,17 @@ class SweepExecutor:
         cache_dir: Optional[str] = None,
         engine_executor: str = "serial",
         start_method: Optional[str] = None,
+        trace_dir: Optional[str] = None,
     ):
         self.jobs = int(jobs)
         self.cache_dir = cache_dir
         self.engine_executor = engine_executor
         self.start_method = start_method or default_start_method()
+        self.trace_dir = None if trace_dir is None else str(trace_dir)
         self._pool: Optional[ProcessPoolExecutor] = None
         # the parent process shares the same disk store so serial runs,
         # fallbacks, and pool workers all hit one set of files
-        _worker_init(cache_dir)
+        _worker_init(cache_dir, self.trace_dir)
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "SweepExecutor":
@@ -105,7 +118,7 @@ class SweepExecutor:
                 max_workers=workers,
                 mp_context=multiprocessing.get_context(self.start_method),
                 initializer=_worker_init,
-                initargs=(self.cache_dir,),
+                initargs=(self.cache_dir, self.trace_dir),
             )
         return self._pool
 
@@ -126,14 +139,26 @@ class SweepExecutor:
         specs = [self._prepare(s) for s in specs]
         if self.jobs <= 1 or len(specs) <= 1:
             return self._map_serial(specs)
+        results: list[Optional[CellOutcome]] = [None] * len(specs)
         try:
-            return self._map_pool(specs)
+            self._map_pool(specs, results)
         except BrokenProcessPool:
+            remaining = [i for i, out in enumerate(results) if out is None]
             log.warning(
-                "process pool broke (worker died); falling back to serial"
+                "process pool broke (worker died); re-running %d of %d "
+                "cells serially (%d completed outcomes kept)",
+                len(remaining),
+                len(specs),
+                len(specs) - len(remaining),
             )
             self.close()
-            return self._map_serial(specs)
+            done = len(specs) - len(remaining)
+            for i in remaining:
+                out = run_task(specs[i])
+                done += 1
+                self._log_progress(done, len(specs), out)
+                results[i] = out
+        return results  # type: ignore[return-value]
 
     def _map_serial(self, specs) -> list[CellOutcome]:
         results = []
@@ -143,20 +168,42 @@ class SweepExecutor:
             results.append(out)
         return results
 
-    def _map_pool(self, specs) -> list[CellOutcome]:
+    def _map_pool(
+        self, specs, results: list[Optional[CellOutcome]]
+    ) -> list[Optional[CellOutcome]]:
+        """Fill ``results`` in place so completed outcomes survive a
+        mid-sweep :class:`BrokenProcessPool` for the caller to keep."""
         pool = self._get_pool()
         index_of = {pool.submit(run_task, s): i for i, s in enumerate(specs)}
-        results: list[Optional[CellOutcome]] = [None] * len(specs)
-        done = 0
+        done = sum(1 for out in results if out is not None)
         pending = set(index_of)
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for fut in finished:
-                out = fut.result()  # raises on real bugs / broken pool
-                results[index_of[fut]] = out
-                done += 1
-                self._log_progress(done, len(specs), out)
-        return results  # type: ignore[return-value]
+        broken: Optional[BrokenProcessPool] = None
+        try:
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    try:
+                        out = fut.result()
+                    except BrokenProcessPool as e:
+                        # Keep draining: futures that completed before the
+                        # break still hold results we must not discard.
+                        broken = e
+                        continue
+                    results[index_of[fut]] = out
+                    done += 1
+                    self._log_progress(done, len(specs), out)
+        except BaseException:
+            # A real bug (non-ReproError) escaped a cell: don't leave the
+            # rest of the matrix running in orphaned workers.
+            for fut in pending:
+                fut.cancel()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+            raise
+        if broken is not None:
+            raise broken
+        return results
 
     @staticmethod
     def _log_progress(done: int, total: int, out: CellOutcome) -> None:

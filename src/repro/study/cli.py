@@ -148,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
         "--progress", action="store_true",
         help="log one line per completed study cell",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="write one Chrome trace JSON per study cell to DIR "
+        "(open in Perfetto; summarize with repro-trace)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -168,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         engine_executor=args.engine_executor,
+        trace_dir=args.trace,
     ) as ex:
         for name in names:
             t0 = time.time()

@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
-from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
+from repro.errors import (
+    ReproError,
+    SimulatedCrashError,
+    SimulatedOOMError,
+    UnsupportedFeatureError,
+)
 from repro.frameworks.base import Framework
 from repro.generators.datasets import Dataset
 from repro.metrics.stats import RunStats
@@ -129,7 +134,9 @@ def strong_scaling(
                 pts.append(ScalingPoint(name, n, None, failure=f"oom: {e}"))
             except UnsupportedFeatureError as e:
                 pts.append(ScalingPoint(name, n, None, failure=f"unsupported: {e}"))
-            except ReproError as e:  # crashes of the real systems
+            except SimulatedCrashError as e:
+                pts.append(ScalingPoint(name, n, None, failure=f"crash: {e}"))
+            except ReproError as e:
                 pts.append(ScalingPoint(name, n, None, failure=str(e)))
         result.points[name] = pts
     return result

@@ -1,10 +1,22 @@
 """Tests for the sweep runtime: picklable cell specs, the worker-side
-runner, and the process-pool executor."""
+runner, the process-pool executor, and its fault-recovery paths (broken
+pools, simulated crashes, real bugs)."""
+
+import logging
+import multiprocessing
+import os
+import time
+from collections import Counter
 
 import numpy as np
 import pytest
 
-from repro.errors import ReproError, SimulatedOOMError, UnsupportedFeatureError
+from repro.errors import (
+    ReproError,
+    SimulatedCrashError,
+    SimulatedOOMError,
+    UnsupportedFeatureError,
+)
 from repro.partition.cache import configure
 from repro.runtime.cells import (
     CellOutcome,
@@ -13,7 +25,7 @@ from repro.runtime.cells import (
     SystemSpec,
     run_task,
 )
-from repro.runtime.sweep import SweepExecutor
+from repro.runtime.sweep import SweepExecutor, default_start_method
 
 
 @pytest.fixture
@@ -89,6 +101,33 @@ class TestRunTask:
         assert a.labels_crc == b.labels_crc
 
 
+#: Environment variable naming the append-only file where the logging
+#: ``run_task`` wrapper below records every invocation (one key per line).
+#: An env var + file survives the process boundary; a plain counter would
+#: only count parent-side calls.
+_RUN_LOG_ENV = "REPRO_TEST_RUN_LOG"
+
+
+def _logging_run_task(spec):
+    """Module-level (hence picklable-by-reference) ``run_task`` wrapper:
+    logs each invocation, then dies hard for "kamikaze" cells — but only
+    inside a pool worker, so the serial fallback completes them."""
+    path = os.environ.get(_RUN_LOG_ENV)
+    if path:
+        with open(path, "a") as f:
+            f.write(f"{spec.key}\n")
+    if (
+        str(spec.key).startswith("kamikaze")
+        and multiprocessing.parent_process() is not None
+    ):
+        # give the sibling cells time to finish and be harvested first,
+        # then die the way the OS OOM-killer would: no exception, no exit
+        # handlers, just a dead worker and a BrokenProcessPool
+        time.sleep(1.0)
+        os._exit(1)
+    return run_task(spec)
+
+
 class TestFailureTaxonomy:
     def test_ok_outcome_does_not_raise(self):
         CellOutcome(key="k").raise_failure()
@@ -121,6 +160,28 @@ class TestFailureTaxonomy:
             out.raise_failure()
         assert out.failure_label() == "unsupported: no async"
         assert not out.ok
+
+    def test_crash_rebuilds_original_exception(self):
+        e = SimulatedCrashError(
+            "GPU 2 crashed at round 5 (fault plan)", gpu_index=2, round_index=5
+        )
+        out = CellOutcome(
+            key="k",
+            failure=str(e),
+            failure_kind="crash",
+            extra={"crash_args": (str(e), e.gpu_index, e.round_index)},
+        )
+        with pytest.raises(SimulatedCrashError) as exc:
+            out.raise_failure()
+        assert exc.value.gpu_index == 2
+        assert exc.value.round_index == 5
+        assert out.failure_label().startswith("crash: ")
+        assert not out.ok
+
+    def test_crash_without_args_still_raises_crash_type(self):
+        out = CellOutcome(key="k", failure="worker died", failure_kind="crash")
+        with pytest.raises(SimulatedCrashError, match="worker died"):
+            out.raise_failure()
 
     def test_generic_error(self):
         out = CellOutcome(key="k", failure="boom", failure_kind="error")
@@ -173,3 +234,89 @@ class TestSweepExecutor:
         import os
 
         assert os.listdir(store)
+
+
+class TestFaultRecovery:
+    """The sweep's three failure paths: a worker killed by the OS, a
+    simulated crash crossing the process boundary, and a real bug."""
+
+    def test_broken_pool_keeps_completed_outcomes(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        if default_start_method() != "fork":
+            pytest.skip("pool-side monkeypatching requires fork workers")
+        import repro.runtime.sweep as sweep_mod
+
+        run_log = tmp_path / "runs.log"
+        monkeypatch.setenv(_RUN_LOG_ENV, str(run_log))
+        # the pool is created lazily inside map(), so fork workers inherit
+        # the patched module and submit() pickles the wrapper by reference
+        monkeypatch.setattr(sweep_mod, "run_task", _logging_run_task)
+        specs = [
+            _cell("ok-0"),
+            _cell("ok-1", bench="cc"),
+            _cell("kamikaze", bench="pr"),
+        ]
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.sweep"):
+            with SweepExecutor(jobs=2) as ex:
+                outs = ex.map(specs)
+        # submission order and success are unaffected by the broken pool
+        assert [o.key for o in outs] == ["ok-0", "ok-1", "kamikaze"]
+        assert all(o.ok for o in outs)
+        # completed cells were harvested, NOT re-executed: one invocation
+        # each; only the kamikaze cell ran twice (dead worker + fallback)
+        counts = Counter(run_log.read_text().splitlines())
+        assert counts["ok-0"] == 1
+        assert counts["ok-1"] == 1
+        assert counts["kamikaze"] == 2
+        # the fallback cell really ran in the parent this time
+        assert outs[2].extra["worker_pid"] == os.getpid()
+        warnings = [r for r in caplog.records if "process pool broke" in r.message]
+        assert len(warnings) == 1
+        assert "re-running 1 of 3" in warnings[0].getMessage()
+
+    def test_simulated_crash_round_trips_through_pool(self):
+        specs = [
+            _cell("ok"),
+            _cell(
+                "boom",
+                system=SystemSpec.dirgl(policy="iec", execution="sync"),
+                fault_plan=((0, 0),),
+            ),
+        ]
+        with SweepExecutor(jobs=2) as ex:
+            ok, boom = ex.map(specs)
+        assert ok.ok
+        assert boom.failure_kind == "crash"
+        assert boom.failure_label().startswith("crash: ")
+        with pytest.raises(SimulatedCrashError) as exc:
+            boom.raise_failure()
+        # the crash site survived pickling through the CellOutcome
+        assert exc.value.gpu_index == 0
+        assert exc.value.round_index == 0
+
+    def test_simulated_crash_serial_matches_pool(self):
+        spec = _cell(
+            "boom",
+            system=SystemSpec.dirgl(policy="iec", execution="sync"),
+            fault_plan=((1, 2),),
+        )
+        out = run_task(spec)
+        assert out.failure_kind == "crash"
+        with pytest.raises(SimulatedCrashError) as exc:
+            out.raise_failure()
+        assert exc.value.gpu_index == 1
+        assert exc.value.round_index == 2
+
+    def test_real_bug_shuts_the_pool_down(self):
+        specs = [
+            _cell("bad", system=SystemSpec("nonsense")),
+            _cell("q-0"),
+            _cell("q-1", bench="cc"),
+            _cell("q-2", bench="pr"),
+        ]
+        ex = SweepExecutor(jobs=2)
+        with pytest.raises(ValueError, match="unknown SystemSpec kind"):
+            ex.map(specs)
+        # no orphan workers grinding through the rest of the matrix
+        assert ex._pool is None
