@@ -24,6 +24,10 @@ Three guards, two committed baselines (``benchmarks/BENCH_sync.json``,
   wall-clock (``REPRO_TRACE_OVERHEAD_TOL`` overrides), with identical
   deterministic metrics; the observability layer must cost nothing when
   off.
+* the **invariant-checking overhead gate** — the matrix with an explicit
+  ``check="off"`` must stay within 2% of the check-unset wall-clock
+  (``REPRO_CHECK_OVERHEAD_TOL`` overrides), with identical deterministic
+  metrics; ``repro.check`` must cost nothing when off.
 
 Usage::
 
@@ -46,11 +50,13 @@ from benchmarks.conftest import archive
 from repro.metrics.perfbaseline import (
     SPEEDUP_MIN_RATIO,
     SWEEP_SPEEDUP_MIN,
+    check_overhead_tolerance,
     compare_sweep_to_baseline,
     compare_to_baseline,
     default_wall_tolerance,
     load_baseline,
     load_sweep_baseline,
+    measure_check_overhead,
     measure_speedup,
     measure_sweep_speedup,
     measure_trace_overhead,
@@ -108,6 +114,16 @@ def _trace_line(sp: dict) -> str:
     )
 
 
+def _check_line(sp: dict) -> str:
+    return (
+        f"invariant-check overhead over {sp['cells']} matrix cells: "
+        f"{sp['no_check_wall_seconds'] * 1e3:.1f} ms check unset / "
+        f"{sp['check_off_wall_seconds'] * 1e3:.1f} ms check=off "
+        f"= {sp['overhead_ratio']:.4f}x "
+        f"(gate: <= {check_overhead_tolerance():.2f}x)"
+    )
+
+
 def _sweep_line(sp: dict) -> str:
     return (
         f"sweep runtime on {sp['dataset']} ({sp['cells']} cells): "
@@ -157,6 +173,12 @@ def test_trace_overhead(once):
     assert sp["overhead_ratio"] <= trace_overhead_tolerance(), _trace_line(sp)
 
 
+def test_check_overhead(once):
+    sp = once(measure_check_overhead)
+    archive("regression_check_overhead", _check_line(sp))
+    assert sp["overhead_ratio"] <= check_overhead_tolerance(), _check_line(sp)
+
+
 # --------------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------------- #
@@ -180,6 +202,11 @@ def main(argv=None) -> int:
         "--trace-overhead-only", action="store_true",
         help="run just the tracing-overhead gate (what the CI obs job runs)",
     )
+    ap.add_argument(
+        "--check-overhead-only", action="store_true",
+        help="run just the invariant-checking overhead gate (what the CI "
+             "correctness job runs)",
+    )
     args = ap.parse_args(argv)
 
     if args.trace_overhead_only:
@@ -189,6 +216,15 @@ def main(argv=None) -> int:
             print("REGRESSION: tracing overhead gate failed")
             return 1
         print("tracing overhead within tolerance")
+        return 0
+
+    if args.check_overhead_only:
+        sp = measure_check_overhead()
+        print(_check_line(sp))
+        if sp["overhead_ratio"] > check_overhead_tolerance():
+            print("REGRESSION: invariant-checking overhead gate failed")
+            return 1
+        print("invariant-checking overhead within tolerance")
         return 0
 
     results = run_matrix()
@@ -265,6 +301,15 @@ def main(argv=None) -> int:
             violations.append(
                 f"tracing overhead gate: {trace_sp['overhead_ratio']:.4f}x > "
                 f"{trace_overhead_tolerance():.2f}x"
+            )
+            print(f"REGRESSION: {violations[-1]}")
+        check_sp = measure_check_overhead()
+        print(_check_line(check_sp))
+        if check_sp["overhead_ratio"] > check_overhead_tolerance():
+            violations.append(
+                "invariant-checking overhead gate: "
+                f"{check_sp['overhead_ratio']:.4f}x > "
+                f"{check_overhead_tolerance():.2f}x"
             )
             print(f"REGRESSION: {violations[-1]}")
 

@@ -80,6 +80,17 @@ class DirectionOptBFS(BFS):
 
     name = "bfs-do"
 
+    #: Beamer-style pull is only sound level-synchronously: a pull round
+    #: finalizes a vertex on its *first* visited parent, which is the true
+    #: BFS parent only when every partition sits at the same frontier
+    #: depth.  Under BASP a partition can race ahead on a long local path,
+    #: finalize a vertex too deep, and drop it from the pull pool before
+    #: the short cross-partition path arrives — whose activated parent
+    #: then lands in a pull round that never rescans visited vertices
+    #: (found by repro-fuzz; see tests/cases/bfsdo_async_pull_finalize.json).
+    #: Real Gunrock is bulk-synchronous for exactly this reason.
+    async_capable = False
+
     #: switch to pull when frontier out-edges exceed |E_local| / alpha
     alpha: float = 20.0
 

@@ -70,6 +70,23 @@ class CCPointerJump(CC):
 
     name = "cc-pj"
 
+    def fields(self):
+        # Pointer jumping writes ``comp`` at *arbitrary* local vertices
+        # (any vertex whose pointee happens to be locally present), not
+        # just at edge destinations like plain label propagation.  The
+        # inherited ``write_at="dst"`` contract would let invariant
+        # filtering drop jumped writes on proxies without local in-edges
+        # from the reduce plan — the value still converges through edge
+        # propagation, but masters lag their mirrors and the sync no
+        # longer reflects what the operator did (found by repro-fuzz;
+        # see tests/cases/ccpj_filtered_jump_write.json).
+        return [
+            FieldSpec(
+                name="comp", dtype=np.uint32, reduce_op="min",
+                read_at="src", write_at="any", identity=np.iinfo(np.uint32).max,
+            )
+        ]
+
     def compute(self, part, ctx, state, frontier) -> RoundOutput:
         out = super().compute(part, ctx, state, frontier)
         comp = state["comp"]

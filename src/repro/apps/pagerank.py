@@ -182,7 +182,20 @@ class PageRankPull(VertexProgram):
 
 
 class PageRankPush(VertexProgram):
-    """Residual push PageRank (data-driven; ablation variant)."""
+    """Residual push PageRank (data-driven; ablation variant).
+
+    ``push_val`` is the *cumulative* per-out-edge mass a vertex has released
+    over its whole history — monotone non-decreasing, never reset.  Each
+    proxy tracks how much of that budget it has already pushed along its
+    local out-edges (``_pushed``) and pushes only the delta.  Cumulative
+    semantics (rather than set-then-quench per firing) are what make the
+    app safe under bulk-asynchronous execution: when several master
+    broadcasts batch into one mirror drain, the latest value carries the
+    merged firings and the delta against the baseline loses nothing,
+    whereas a per-firing value interleaved with a quench-to-zero would
+    silently drop pushes (the premature-quiescence bug the fuzz harness
+    caught on path/disconnected graphs under BASP).
+    """
 
     name = "pr-push"
     style = "push"
@@ -197,8 +210,11 @@ class PageRankPush(VertexProgram):
                 read_at="none", write_at="dst", identity=0.0,
                 reset_after_reduce=True,
             ),
+            # max-reduce declares the monotone direction: broadcast merges
+            # (and the FULL-level invariant checkers) rely on the canonical
+            # value only ever growing.
             FieldSpec(
-                name="push_val", dtype=np.float32, reduce_op="add",
+                name="push_val", dtype=np.float64, reduce_op="max",
                 read_at="src", write_at="master",
             ),
         ]
@@ -221,22 +237,31 @@ class PageRankPush(VertexProgram):
         )
         return {
             "resid_acc": np.zeros(part.num_local, dtype=np.float32),
-            "push_val": push0.astype(np.float32),
+            "push_val": push0.astype(np.float64),
+            "_pushed": np.zeros(part.num_local, dtype=np.float64),
             "_rank": np.full(part.num_local, base, dtype=np.float64),
             "_resid": np.zeros(part.num_local, dtype=np.float64),
             "_outdeg": outdeg,
         }
 
     def initial_frontier(self, part, ctx, state):
-        active = (state["push_val"] > 0) & part.has_out_edges()
+        active = (
+            state["push_val"] > state["_pushed"]
+        ) & part.has_out_edges()
         return np.flatnonzero(active).astype(np.int64)
 
     def compute(self, part, ctx, state, frontier) -> RoundOutput:
         push_val = state["push_val"]
+        pushed = state["_pushed"]
         acc = state["resid_acc"]
         degrees = self.frontier_degrees(part, frontier)
         rep, dsts, _ = expand_frontier(part.graph, frontier)
-        np.add.at(acc, dsts, push_val[frontier[rep]])
+        # push only the unreleased slice of the cumulative budget, then
+        # advance the baseline so re-activation is a no-op until the
+        # master's next firing grows push_val again
+        amount = push_val[frontier] - pushed[frontier]
+        np.add.at(acc, dsts, amount[rep])
+        pushed[frontier] = push_val[frontier]
         touched = np.unique(dsts)
         return RoundOutput(
             updated={"resid_acc": touched},
@@ -260,21 +285,17 @@ class PageRankPush(VertexProgram):
         r = resid[masters]
         fire = r > ctx.tolerance
         idx = masters[fire]
-        old_pv = pv[masters].astype(np.float64)
-        new_pv = old_pv.copy()
+        changed = _EMPTY
         if len(idx):
             rank[idx] += r[fire]
-            new_pv[fire] = np.where(
+            resid[idx] = 0.0
+            inc = np.where(
                 outdeg[idx] > 0,
                 ctx.damping * r[fire] / np.maximum(outdeg[idx], 1.0),
                 0.0,
             )
-            resid[idx] = 0.0
-        # quench push values of masters that did not fire this round
-        new_pv[~fire] = 0.0
-        changed_mask = new_pv != old_pv
-        changed = masters[changed_mask]
-        pv[masters] = new_pv.astype(np.float32)
+            pv[idx] += inc
+            changed = idx[inc > 0]
         return MasterOutput(
             updated={"push_val": changed},
             activated=changed,
@@ -283,5 +304,8 @@ class PageRankPush(VertexProgram):
 
     def frontier_filter(self, part, ctx, state, candidates):
         pv = state["push_val"]
-        keep = (pv[candidates] > 0) & part.has_out_edges()[candidates]
+        pushed = state["_pushed"]
+        keep = (
+            pv[candidates] > pushed[candidates]
+        ) & part.has_out_edges()[candidates]
         return candidates[keep]

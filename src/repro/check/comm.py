@@ -1,0 +1,320 @@
+"""Gluon synchronization invariant checkers.
+
+Three layers, matching how the substrate can break:
+
+* :func:`check_comm_structure` (CHEAP, at :class:`GluonComm` construction):
+  the memoized plans and flat send-tables are internally consistent — both
+  sides of every plan list the *same global vertices* in the same order,
+  reduce flows mirror→master, broadcast flows master→mirror, and each
+  sender's flat table is exactly the concatenation of its per-partner
+  plans.  A breach here corrupts every message silently, because address
+  elision means nothing on the wire can catch it.
+* :func:`check_post_sync` (FULL, after a bulk-synchronous round or at
+  async quiescence): per synced min/max field, the master's value
+  *dominates* every plan partner's copy (``reducer(master, mirror) ==
+  master``); for ``write_at="master"`` fields — where mirrors never write
+  locally — broadcast partners must agree *exactly*.  Accumulator (``add``
+  / ``reset_after_reduce``) fields are excluded: their mirrors are
+  deliberately stale between reductions.
+* :func:`differential_extract` (FULL, per extraction): runs the vectorized
+  hot path and the pre-vectorization scalar reference on identical input
+  state and requires identical messages *and* identical post-state (labels,
+  dirty bits).  This is the standing guard against exactly the class of
+  bug a sync-path optimization can introduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "check_comm_structure",
+    "check_field_specs",
+    "check_post_sync",
+    "differential_extract",
+]
+
+_REDUCERS = {"min": np.minimum, "max": np.maximum, "add": np.add}
+
+_STRUCT_STAMP = "_gluon_plans_checked"
+
+
+def _fail(checker: str, message: str):
+    raise InvariantViolation(message, checker=checker)
+
+
+# ---------------------------------------------------------------------------
+# CHEAP: plan/table structure
+
+
+def check_field_specs(comm) -> None:
+    """Declared identities must be neutral for their reduce op.
+
+    Accumulator fields are reset to ``identity`` after extraction, and
+    reduce-apply treats an identity payload as "no change" — both are only
+    sound if ``reduce(x, identity) == x`` (reduce idempotence on the
+    neutral element).
+    """
+    for spec in comm.fields.values():
+        if not spec.reset_after_reduce:
+            continue
+        probe = np.asarray([0, 1, 3], dtype=spec.dtype)
+        merged = _REDUCERS[spec.reduce_op](probe, spec.dtype(spec.identity))
+        if not np.array_equal(merged, probe):
+            _fail(
+                "field-identity",
+                f"field {spec.name!r}: identity {spec.identity!r} is not "
+                f"neutral for reduce op {spec.reduce_op!r}",
+            )
+
+
+def check_comm_structure(comm) -> None:
+    """Validate the (memoized) plans and send-tables of every field."""
+    check_field_specs(comm)
+    pg = comm.pg
+    checked = pg.__dict__.setdefault(_STRUCT_STAMP, set())
+    for name, spec in comm.fields.items():
+        key = (spec.read_at, spec.write_at, comm.config.invariant_filtering)
+        if key in checked:
+            continue
+        reduce_plans, bcast_plans = comm._plans[name]
+        _check_plan_dict(pg, name, "reduce", reduce_plans)
+        _check_plan_dict(pg, name, "broadcast", bcast_plans)
+        red_tables, bc_tables = comm._tables[name]
+        _check_tables(name, "reduce", reduce_plans, red_tables)
+        _check_tables(name, "broadcast", bcast_plans, bc_tables)
+        checked.add(key)
+
+
+def _check_plan_dict(pg, field: str, phase: str, plans: dict) -> None:
+    for (s, d), plan in plans.items():
+        sender, receiver = pg.parts[s], pg.parts[d]
+        if len(plan.send_idx) != len(plan.recv_idx) or len(plan.send_idx) == 0:
+            _fail(
+                "plan-alignment",
+                f"{field}/{phase} plan {s}->{d}: send/recv index lists must "
+                "be equal-length and non-empty",
+            )
+        g_send = sender.local_to_global[plan.send_idx]
+        g_recv = receiver.local_to_global[plan.recv_idx]
+        if not np.array_equal(g_send, g_recv):
+            _fail(
+                "plan-alignment",
+                f"{field}/{phase} plan {s}->{d}: the two sides index "
+                "different global vertices — address elision would deliver "
+                "values to the wrong proxies",
+            )
+        if phase == "reduce":
+            mirror_side, master_side = sender, receiver
+            mirror_idx, master_idx = plan.send_idx, plan.recv_idx
+        else:
+            master_side, mirror_side = sender, receiver
+            master_idx, mirror_idx = plan.send_idx, plan.recv_idx
+        if np.any(mirror_side.is_master[mirror_idx]):
+            _fail(
+                "plan-direction",
+                f"{field}/{phase} plan {s}->{d}: mirror side contains a "
+                "master proxy",
+            )
+        if not np.all(master_side.is_master[master_idx]):
+            _fail(
+                "plan-direction",
+                f"{field}/{phase} plan {s}->{d}: master side contains a "
+                "mirror proxy",
+            )
+
+
+def _check_tables(field: str, phase: str, plans: dict, tables: list) -> None:
+    by_sender: dict[int, dict[int, object]] = {}
+    for (s, d), plan in plans.items():
+        by_sender.setdefault(s, {})[d] = plan
+    for s, table in enumerate(tables):
+        planned = by_sender.get(s, {})
+        if table is None:
+            if planned:
+                _fail(
+                    "send-table",
+                    f"{field}/{phase}: sender {s} has plans but no table",
+                )
+            continue
+        if sorted(table.receivers) != sorted(planned):
+            _fail(
+                "send-table",
+                f"{field}/{phase}: sender {s}'s table partners "
+                f"{sorted(table.receivers)} != planned {sorted(planned)}",
+            )
+        lens = [len(p.send_idx) for p in table.plans]
+        expect_offsets = np.concatenate(
+            ([0], np.cumsum(np.asarray(lens, dtype=np.int64)))
+        )
+        if not np.array_equal(table.offsets, expect_offsets):
+            _fail(
+                "send-table",
+                f"{field}/{phase}: sender {s}'s offsets do not match its "
+                "plan lengths (segment slicing would mix partners)",
+            )
+        expect_flat = (
+            np.concatenate([p.send_idx for p in table.plans])
+            if table.plans
+            else np.empty(0, dtype=np.int64)
+        )
+        if not np.array_equal(table.flat_send, expect_flat):
+            _fail(
+                "send-table",
+                f"{field}/{phase}: sender {s}'s flat_send is not the "
+                "concatenation of its per-partner send lists",
+            )
+        for d, plan in zip(table.receivers, table.plans):
+            if planned.get(d) is not plan:
+                _fail(
+                    "send-table",
+                    f"{field}/{phase}: sender {s}'s table plan for partner "
+                    f"{d} is not the plan dict's entry",
+                )
+
+
+# ---------------------------------------------------------------------------
+# FULL: post-sync proxy agreement
+
+
+def check_post_sync(comm, field: str, labels) -> None:
+    """After a full synchronization of ``field``, masters dominate.
+
+    Valid after :meth:`GluonComm.bsp_sync` (or the BSP engine's per-round
+    sync plan) and at BASP quiescence — *not* mid-flight, where messages
+    may legitimately be in transit.
+    """
+    spec = comm.fields[field]
+    if spec.reduce_op not in ("min", "max") or spec.reset_after_reduce:
+        return  # accumulators are deliberately stale between reductions
+    red = _REDUCERS[spec.reduce_op]
+    reduce_plans, bcast_plans = comm._plans[field]
+    strict = spec.write_at == "master"
+    for (m, r), plan in bcast_plans.items():
+        master_vals = labels[m][plan.send_idx]
+        mirror_vals = labels[r][plan.recv_idx]
+        if strict:
+            bad = master_vals != mirror_vals
+            kind = "agree with"
+        else:
+            bad = red(master_vals, mirror_vals) != master_vals
+            kind = "be dominated by"
+        if np.any(bad):
+            i = int(np.flatnonzero(bad)[0])
+            v = int(comm.pg.parts[m].local_to_global[plan.send_idx[i]])
+            _fail(
+                "post-sync-broadcast",
+                f"field {field!r}: after sync, mirror of vertex {v} on "
+                f"partition {r} must {kind} its master on {m} "
+                f"(master={master_vals[i]!r}, mirror={mirror_vals[i]!r})",
+            )
+    for (r, m), plan in reduce_plans.items():
+        master_vals = labels[m][plan.recv_idx]
+        mirror_vals = labels[r][plan.send_idx]
+        bad = red(master_vals, mirror_vals) != master_vals
+        if np.any(bad):
+            i = int(np.flatnonzero(bad)[0])
+            v = int(comm.pg.parts[m].local_to_global[plan.recv_idx[i]])
+            _fail(
+                "post-sync-reduce",
+                f"field {field!r}: after sync, master of vertex {v} on "
+                f"partition {m} holds {master_vals[i]!r} but its mirror on "
+                f"{r} holds the better value {mirror_vals[i]!r} "
+                "(a reduce message was lost)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# FULL: vectorized-vs-scalar differential extraction
+
+
+def differential_extract(comm, field: str, phase: str, pid: int, labels):
+    """Run both extraction paths on identical state; require equivalence.
+
+    Returns the vectorized messages and leaves the vectorized post-state
+    installed, so enabling the check cannot change a run's results — it
+    can only veto them.
+    """
+    dirty = comm.updated[field][pid]
+    pre_bits = dirty.bits.copy()
+    pre_lab = labels[pid].copy()
+
+    msgs = comm._extract_vectorized(field, phase, pid, labels)
+    post_bits = dirty.bits.copy()
+    post_lab = labels[pid].copy()
+
+    dirty.bits[:] = pre_bits
+    labels[pid][:] = pre_lab
+    ref_msgs = comm._extract_scalar(field, phase, pid, labels)
+    ref_bits = dirty.bits.copy()
+    ref_lab = labels[pid].copy()
+
+    # reinstall the vectorized outcome before any verdict, so a violation
+    # raised below does not leave the run in the reference state
+    dirty.bits[:] = post_bits
+    labels[pid][:] = post_lab
+
+    where = f"field {field!r}, {phase} extraction on partition {pid}"
+    if not np.array_equal(post_bits, ref_bits):
+        _fail(
+            "extract-differential",
+            f"{where}: vectorized and scalar paths leave different dirty "
+            "bits",
+        )
+    if not np.array_equal(post_lab, ref_lab):
+        _fail(
+            "extract-differential",
+            f"{where}: vectorized and scalar paths leave different labels "
+            "(accumulator reset mismatch)",
+        )
+    by_dst = {m.header.dst: m for m in msgs}
+    ref_by_dst = {m.header.dst: m for m in ref_msgs}
+    if len(by_dst) != len(msgs) or len(ref_by_dst) != len(ref_msgs):
+        _fail(
+            "extract-differential",
+            f"{where}: duplicate messages for one receiver",
+        )
+    if set(by_dst) != set(ref_by_dst):
+        _fail(
+            "extract-differential",
+            f"{where}: receiver sets differ — vectorized "
+            f"{sorted(by_dst)} vs scalar {sorted(ref_by_dst)}",
+        )
+    for d, m in by_dst.items():
+        ref = ref_by_dst[d]
+        if not np.array_equal(m.values, ref.values):
+            _fail(
+                "extract-differential",
+                f"{where}: payload values to {d} differ",
+            )
+        if (m.positions is None) != (ref.positions is None) or (
+            m.positions is not None
+            and not np.array_equal(m.positions, ref.positions)
+        ):
+            _fail(
+                "extract-differential",
+                f"{where}: UO positions to {d} differ",
+            )
+        if (m.explicit_ids is None) != (ref.explicit_ids is None) or (
+            m.explicit_ids is not None
+            and not np.array_equal(m.explicit_ids, ref.explicit_ids)
+        ):
+            _fail(
+                "extract-differential",
+                f"{where}: explicit global IDs to {d} differ",
+            )
+        if m.exchange_len != ref.exchange_len:
+            _fail(
+                "extract-differential",
+                f"{where}: exchange_len to {d} differs "
+                f"({m.exchange_len} vs {ref.exchange_len})",
+            )
+        if m.scanned_elements != ref.scanned_elements:
+            _fail(
+                "extract-differential",
+                f"{where}: scanned_elements to {d} differs "
+                f"({m.scanned_elements} vs {ref.scanned_elements})",
+            )
+    return msgs

@@ -185,12 +185,25 @@ class GluonComm:
         fields: list[FieldSpec],
         config: CommConfig = CommConfig(),
         tracer=None,
+        check=None,
     ):
+        """``check`` selects the invariant-checking level (see
+        :mod:`repro.check`): ``None`` reads the ambient level, ``"off"`` /
+        ``"cheap"`` / ``"full"`` (or :class:`~repro.check.CheckLevel`)
+        force one.  CHEAP validates plan/table structure once at
+        construction; FULL additionally runs every extraction through the
+        scalar reference path differentially."""
+        from repro.check.level import CheckLevel, resolve_check_level
+
         self.pg = pg
         self.config = config
         #: normalized like the engines': ``None`` unless enabled, so the
         #: extraction wrappers pay one ``is not None`` test per call.
         self.tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self.check_level = resolve_check_level(check)
+        #: hot-path flag: route every extraction through the differential
+        #: vectorized-vs-scalar comparison.
+        self._check_full = self.check_level >= CheckLevel.FULL
         self.fields = {f.name: f for f in fields}
         if len(self.fields) != len(fields):
             raise ConfigurationError("duplicate field names")
@@ -211,6 +224,10 @@ class GluonComm:
             plans, tables = self._plans_for(f)
             self._plans[f.name] = plans
             self._tables[f.name] = tables
+        if self.check_level:
+            from repro.check.comm import check_comm_structure
+
+            check_comm_structure(self)
 
     # ------------------------------------------------------------------ #
     # plan construction
@@ -316,12 +333,27 @@ class GluonComm:
     def _extract(self, field: str, phase: str, pid: int, labels) -> list[Message]:
         """Build partition ``pid``'s outgoing messages for one phase.
 
+        Dispatches to the vectorized hot path, the scalar reference, or —
+        at FULL check level — the differential comparison of the two
+        (which returns the vectorized result after verifying equivalence).
+        """
+        if self.use_scalar_extraction:
+            return self._extract_scalar(field, phase, pid, labels)
+        if self._check_full:
+            from repro.check.comm import differential_extract
+
+            return differential_extract(self, field, phase, pid, labels)
+        return self._extract_vectorized(field, phase, pid, labels)
+
+    def _extract_vectorized(
+        self, field: str, phase: str, pid: int, labels
+    ) -> list[Message]:
+        """Vectorized extraction (the production path).
+
         Under UO only dirty elements ship (dirty bits for sent proxies are
         cleared; reduce-phase accumulators are reset to identity).  Under
         AS the full invariant-filtered exchange ships.
         """
-        if self.use_scalar_extraction:
-            return self._extract_scalar(field, phase, pid, labels)
         spec = self.fields[field]
         table = self._tables[field][0 if phase == "reduce" else 1][pid]
         if table is None:
@@ -546,8 +578,16 @@ class GluonComm:
         Returns receiver-local IDs whose value changed (worklist activation);
         mirrors are *not* marked dirty — a broadcast value is canonical and
         must not be reduced back.
+
+        Min/max fields merge with their reducer instead of overwriting.
+        In-order delivery this is identical (the master's value always
+        dominates a mirror's), but under BASP two broadcasts of one field
+        can arrive inverted (a later, heavier message can ride a longer
+        simulated inter-host leg); merging keeps the mirror monotone
+        instead of regressing it to the stale value.
         """
         field = msg.header.field
+        spec = self.fields[field]
         plan = self._plans[field][1].get((msg.header.src, msg.header.dst))
         if plan is None:
             raise CommunicationError(
@@ -560,8 +600,12 @@ class GluonComm:
         )
         dst = msg.header.dst
         old = labels[dst][tgt]
-        changed_mask = old != msg.values
-        labels[dst][tgt] = msg.values
+        if spec.reduce_op in ("min", "max"):
+            new = _REDUCERS[spec.reduce_op](old, msg.values)
+        else:
+            new = msg.values
+        changed_mask = old != new
+        labels[dst][tgt] = new
         return tgt[changed_mask]
 
     # ------------------------------------------------------------------ #

@@ -58,6 +58,7 @@ class BASPEngine:
         fault_plan=None,
         executor: str = "serial",
         tracer=None,
+        check=None,
     ):
         """``throttle_wait`` implements the paper's proposed *dynamic
         throttling* of asynchronous execution (Section VII): before each
@@ -78,13 +79,19 @@ class BASPEngine:
             raise ConfigurationError(
                 f"{app.name} cannot run bulk-asynchronously"
             )
+        from repro.check.level import resolve_check_level
+
         if isinstance(balancer, str):
             balancer = get_balancer(balancer)
         self.tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self.check_level = resolve_check_level(check)
         self.pg = pg
         self.cluster = cluster
         self.app = app
-        self.comm = GluonComm(pg, app.fields(), comm_config, tracer=self.tracer)
+        self.comm = GluonComm(
+            pg, app.fields(), comm_config, tracer=self.tracer,
+            check=self.check_level,
+        )
         self.cost = CostModel(cluster, balancer, scale_factor)
         self.memory = MemoryModel(memory_profile, scale_factor)
         self.check_memory = check_memory
@@ -146,6 +153,21 @@ class BASPEngine:
         plan = app.sync_plan()
         activating = app.activating_fields()
         topology = app.driven == "topology"
+
+        check_cheap = bool(self.check_level)
+        check_full = self.check_level >= 2  # CheckLevel.FULL
+        watch = None
+        if check_cheap:
+            from repro.check import (
+                MonotoneWatch,
+                check_final_stats,
+                check_partition,
+                check_post_sync,
+            )
+
+            check_partition(pg, self.check_level)
+            if check_full:
+                watch = MonotoneWatch(app.fields(), P)
 
         local_time = np.zeros(P)
         compute_t = np.zeros(P)
@@ -334,6 +356,8 @@ class BASPEngine:
                         if did_work or had_f:
                             local_rounds[q] += 1
                         local_time[q] = t
+                        if watch is not None:
+                            watch.observe(views, pid=q)
                         if local_rounds.sum() > max_local_rounds:
                             raise ConvergenceError(
                                 f"{app.name} (BASP) exceeded "
@@ -493,6 +517,8 @@ class BASPEngine:
             if did_work or len(frontier):
                 local_rounds[p] += 1
             local_time[p] = t
+            if watch is not None:
+                watch.observe(views, pid=p)
 
             if local_rounds.sum() > max_local_rounds:
                 raise ConvergenceError(
@@ -504,6 +530,13 @@ class BASPEngine:
                 residual[p] = 0.0
 
         # ------------------------------------------------------------------ #
+        if check_full:
+            # quiescence: no message in flight and every dirty bit drained,
+            # so the mid-flight exemption ends — masters must dominate (and
+            # write_at="master" fields agree exactly) on every synced field
+            for step in plan:
+                if step.kind == "broadcast":
+                    check_post_sync(comm, step.field, views[step.field])
         stats.execution_time = float(local_time.max())
         stats.per_partition_compute = compute_t
         stats.per_partition_wait = wait_t
@@ -516,6 +549,8 @@ class BASPEngine:
         stats.device_comm = max(
             stats.execution_time - stats.max_compute - stats.min_wait, 0.0
         )
+        if check_cheap:
+            check_final_stats(stats)
         if tracer is not None:
             tracer.instant(
                 "round_sim",

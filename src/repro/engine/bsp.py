@@ -54,6 +54,7 @@ class BSPEngine:
         fault_plan=None,
         executor: str = "serial",
         tracer=None,
+        check=None,
     ):
         """``overlap_comm`` in [0, 1] hides that fraction of each round's
         host-device communication under the computation phase (async
@@ -67,7 +68,11 @@ class BSPEngine:
         fixed partition order, so runs are bit-identical either way.
         ``tracer`` (a :class:`repro.obs.Tracer`) records per-round
         compute/sync/wait spans; disabled tracers are normalized to
-        ``None`` so the hot loops pay one ``is not None`` test."""
+        ``None`` so the hot loops pay one ``is not None`` test.
+        ``check`` selects the runtime invariant-checking level (see
+        :mod:`repro.check`); ``None`` reads the ambient level."""
+        from repro.check.level import resolve_check_level
+
         if isinstance(balancer, str):
             balancer = get_balancer(balancer)
         if not 0.0 <= overlap_comm <= 1.0:
@@ -77,10 +82,14 @@ class BSPEngine:
                 f"executor must be 'serial' or 'threads', got {executor!r}"
             )
         self.tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self.check_level = resolve_check_level(check)
         self.pg = pg
         self.cluster = cluster
         self.app = app
-        self.comm = GluonComm(pg, app.fields(), comm_config, tracer=self.tracer)
+        self.comm = GluonComm(
+            pg, app.fields(), comm_config, tracer=self.tracer,
+            check=self.check_level,
+        )
         self.cost = CostModel(cluster, balancer, scale_factor)
         self.memory = MemoryModel(memory_profile, scale_factor)
         self.check_memory = check_memory
@@ -127,6 +136,24 @@ class BSPEngine:
         ]
         plan = app.sync_plan()
         activating = app.activating_fields()
+
+        # invariant checking: two precomputed booleans keep the per-round
+        # cost at OFF to exactly these falsy tests
+        check_cheap = bool(self.check_level)
+        check_full = self.check_level >= 2  # CheckLevel.FULL
+        watch = None
+        if check_cheap:
+            from repro.check import (
+                MonotoneWatch,
+                check_final_stats,
+                check_partition,
+                check_post_sync,
+                check_round_record,
+            )
+
+            check_partition(pg, self.check_level)
+            if check_full:
+                watch = MonotoneWatch(app.fields(), P)
 
         rnd = 0
 
@@ -326,6 +353,16 @@ class BSPEngine:
                 duration=duration,
             )
             stats.accumulate_round(rec)
+            if check_cheap:
+                check_round_record(rec)
+            if check_full:
+                # the sync plan is complete: masters must dominate their
+                # plan partners on every broadcast field, and no label may
+                # have moved against its reduce direction this round
+                for step in plan:
+                    if step.kind == "broadcast":
+                        check_post_sync(self.comm, step.field, views[step.field])
+                watch.observe(views)
             if self.recorder is not None:
                 self.recorder.on_round(rec)
             if tracer is not None:
@@ -382,6 +419,8 @@ class BSPEngine:
         stats.local_rounds_min = stats.rounds
         stats.local_rounds_max = stats.rounds
         stats.finalize_breakdown()
+        if check_cheap:
+            check_final_stats(stats)
         if tracer is not None:
             tracer.instant(
                 "run_summary",

@@ -43,6 +43,21 @@ class UnsupportedFeatureError(ConfigurationError):
     """
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant checker (:mod:`repro.check`) found a breach.
+
+    Unlike the simulated-failure classes this *is* a bug signal: either the
+    framework broke one of its structural contracts (proxy consistency,
+    exactly-once edge ownership, label monotonicity, ...) or a checker is
+    over-strict.  ``checker`` names the invariant that fired so fuzz cases
+    and sweep reports can aggregate by class.
+    """
+
+    def __init__(self, message: str, checker: str = ""):
+        self.checker = checker
+        super().__init__(f"[{checker}] {message}" if checker else message)
+
+
 class SimulatedOOMError(ReproError):
     """A simulated GPU ran out of device memory at paper scale.
 

@@ -1,0 +1,29 @@
+"""Randomized differential fuzzing of the simulation stack.
+
+See :mod:`repro.fuzz.cases` for the replayable case format,
+:mod:`repro.fuzz.fuzzer` for the sampling loop, :mod:`repro.fuzz.shrink`
+for minimization, and :mod:`repro.fuzz.mutations` for the planted-bug
+suite that keeps the harness honest.  ``repro-fuzz`` (:mod:`cli`) ties
+them together.
+"""
+
+from repro.fuzz.cases import Case, CaseFailure, run_case
+from repro.fuzz.fuzzer import FuzzFailure, FuzzReport, fuzz
+from repro.fuzz.gen import SHAPES, build_shape, random_graph
+from repro.fuzz.mutations import MUTATIONS
+from repro.fuzz.shrink import shrink_case, still_fails
+
+__all__ = [
+    "Case",
+    "CaseFailure",
+    "run_case",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz",
+    "SHAPES",
+    "build_shape",
+    "random_graph",
+    "MUTATIONS",
+    "shrink_case",
+    "still_fails",
+]

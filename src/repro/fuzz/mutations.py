@@ -1,0 +1,276 @@
+"""Planted bugs: mutation testing for the correctness harness itself.
+
+A checker that never fires is indistinguishable from a checker that
+cannot fire.  Each context manager here monkey-patches one realistic bug
+class into the runtime — the kinds of defects the Gluon sync layer,
+partition cache, and apps could plausibly grow — so the test suite can
+assert the harness (``repro.check`` invariants at FULL plus the fuzz
+oracles) actually detects every one of them.
+
+Every mutation clears the partition cache on entry *and* exit: cached
+:class:`PartitionedGraph` instances memoize their Gluon plans and carry
+check-memoization stamps, so a mutation must never leak into (or out of)
+a cached structure another test will reuse.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "MUTATIONS",
+    "drop_mirror_update",
+    "sendtable_offset_skew",
+    "skip_reduce_partner",
+    "stale_partition_cache",
+    "cc_wrong_tiebreak",
+    "bitset_clear_off_by_one",
+]
+
+
+def _fresh_caches() -> None:
+    from repro.partition.cusp import clear_partition_cache
+
+    clear_partition_cache()
+
+
+@contextmanager
+def drop_mirror_update():
+    """A broadcast that silently loses one mirror write.
+
+    The classic "lost update": the master's canonical value is computed,
+    the message is delivered, but one mirror slot never lands.  Caught by
+    the ``post-sync-broadcast`` checker (mirror/master disagreement right
+    after the sync) or, failing that, by the final reference comparison.
+    """
+    from repro.comm.gluon import GluonComm
+
+    orig = GluonComm.apply_broadcast
+    state = {"armed": True}
+
+    def bad(self, msg, labels):
+        dst = msg.header.dst
+        before = labels[dst].copy()
+        changed = orig(self, msg, labels)
+        if state["armed"] and len(changed):
+            lost = changed[0]
+            labels[dst][lost] = before[lost]
+            state["armed"] = False
+            return changed[1:]
+        return changed
+
+    _fresh_caches()
+    GluonComm.apply_broadcast = bad
+    try:
+        yield
+    finally:
+        GluonComm.apply_broadcast = orig
+        _fresh_caches()
+
+
+@contextmanager
+def sendtable_offset_skew():
+    """An off-by-one in the flat send-table segment offsets.
+
+    Shifts one interior offset so a segment reads a neighbor's element —
+    exactly the bug a vectorization rewrite of the extraction path would
+    introduce.  Caught structurally by the ``send-table`` checker the
+    moment the comm engine is built at CHEAP or FULL.
+    """
+    import repro.comm.gluon as gluon
+
+    orig = gluon._build_send_tables
+
+    def bad(plans, num_partitions):
+        tables = orig(plans, num_partitions)
+        for t in tables:
+            if t is None:
+                continue
+            # interior offset when there are >= 2 segments, else the
+            # total — either way the cumsum property is broken
+            t.offsets[1 if t.num_segments >= 2 else -1] += 1
+            break
+        return tables
+
+    _fresh_caches()
+    gluon._build_send_tables = bad
+    try:
+        yield
+    finally:
+        gluon._build_send_tables = orig
+        _fresh_caches()
+
+
+@contextmanager
+def skip_reduce_partner():
+    """One mirror->master reduce pair silently dropped from the plan.
+
+    That master never hears from one of its mirrors, so its "global"
+    minimum/maximum is only locally global.  Caught by the
+    ``post-sync-reduce`` dominance check or the reference comparison.
+    """
+    from repro.comm.gluon import GluonComm
+
+    orig = GluonComm._build_plans
+
+    def bad(self, spec):
+        reduce_plans, broadcast_plans = orig(self, spec)
+        if reduce_plans:
+            del reduce_plans[next(iter(sorted(reduce_plans)))]
+        return reduce_plans, broadcast_plans
+
+    _fresh_caches()
+    GluonComm._build_plans = bad
+    try:
+        yield
+    finally:
+        GluonComm._build_plans = orig
+        _fresh_caches()
+
+
+@contextmanager
+def stale_partition_cache():
+    """A cache key that forgets the partition count.
+
+    Two sweeps over the same graph at different GPU counts now collide,
+    and the second silently computes on the first's partitioning.  Caught
+    by the ``partition-request`` checker, which compares the returned
+    structure against what was actually asked for.
+    """
+    from repro.partition.cache import PartitionCache
+
+    orig = PartitionCache.__dict__["key_for"]
+
+    def bad(graph, policy, num_partitions):
+        return (graph.content_hash(), policy, 0)
+
+    _fresh_caches()
+    PartitionCache.key_for = staticmethod(bad)
+    try:
+        yield
+    finally:
+        PartitionCache.key_for = orig
+        _fresh_caches()
+
+
+@contextmanager
+def cc_wrong_tiebreak():
+    """Label propagation seeded with *local* instead of global IDs.
+
+    Every partition then elects component representatives from its own
+    numbering — answers disagree across partition counts and with the
+    reference.  Only the final-answer oracle can see this one; it is the
+    reason the fuzzer compares against references, not just invariants.
+    """
+    from repro.apps.cc import CC
+
+    orig = CC.init_state
+
+    def bad(self, part, ctx):
+        return {"comp": np.arange(part.num_local, dtype=np.uint32)}
+
+    _fresh_caches()
+    CC.init_state = bad
+    try:
+        yield
+    finally:
+        CC.init_state = orig
+        _fresh_caches()
+
+
+@contextmanager
+def bitset_clear_off_by_one():
+    """``Bitset.clear(idx)`` misses the last element — an off-by-one slice.
+
+    The vectorized extraction clears sent proxies' dirty bits through
+    this method; the scalar reference path writes ``bits`` directly.  The
+    planted off-by-one therefore skews only the vectorized path, and the
+    FULL-level ``extract-differential`` comparison catches the divergence
+    in the post-extraction dirty state on the first non-trivial send.
+    """
+    from repro.comm.bitset import Bitset
+
+    orig = Bitset.clear
+
+    def bad(self, idx=None):
+        if idx is None:
+            return orig(self, None)
+        idx = np.atleast_1d(np.asarray(idx))
+        orig(self, idx[:-1])
+
+    _fresh_caches()
+    Bitset.clear = bad
+    try:
+        yield
+    finally:
+        Bitset.clear = orig
+        _fresh_caches()
+
+
+#: name -> context manager, for the self-test CLI and the pytest suite
+MUTATIONS = {
+    "drop-mirror-update": drop_mirror_update,
+    "sendtable-offset-skew": sendtable_offset_skew,
+    "skip-reduce-partner": skip_reduce_partner,
+    "stale-partition-cache": stale_partition_cache,
+    "cc-wrong-tiebreak": cc_wrong_tiebreak,
+    "bitset-clear-off-by-one": bitset_clear_off_by_one,
+}
+
+
+def detection_candidates():
+    """The small case battery the self-test runs under every mutation.
+
+    The battery is deliberately diverse: a *path under IEC* makes a lost
+    mirror update fatal (the frontier must cross a partition boundary
+    through a broadcast-fed src proxy, so the answer breaks rather than
+    merely drifting), an R-MAT cell exercises the dense plan/table
+    structure, and a symmetric CC cell is the only one the tie-break
+    mutation can touch.
+    """
+    from repro.fuzz.cases import Case
+    from repro.fuzz.gen import build_shape
+    from repro.graph.builder import from_edges
+    from repro.graph.transform import add_random_weights, make_undirected
+
+    rng = np.random.default_rng(11)
+    rmat = build_shape("rmat", rng)
+    sym = add_random_weights(make_undirected(rmat), seed=2)
+    n = 24
+    path = add_random_weights(
+        from_edges(np.arange(n - 1), np.arange(1, n), num_vertices=n,
+                   name="mut-path"),
+        seed=3,
+    )
+    return [
+        Case.from_graph(path, app="bfs", policy="iec", parts=4,
+                        engine="bsp", shape="path"),
+        Case.from_graph(rmat, app="bfs", policy="oec", parts=4,
+                        engine="bsp", shape="rmat"),
+        Case.from_graph(sym, app="cc", policy="oec", parts=4,
+                        engine="bsp", shape="rmat-sym"),
+    ]
+
+
+def run_candidates(mutation, candidates=None) -> bool:
+    """Replay the battery under ``mutation``; True iff any cell fails.
+
+    Each candidate re-enters the context manager so one-shot mutations
+    (the lost mirror update) are re-armed for every cell, and the
+    partition cache is rebuilt in between.
+    """
+    from dataclasses import replace
+
+    from repro.fuzz.cases import run_case
+
+    for case in candidates or detection_candidates():
+        with mutation():
+            try:
+                run_case(case, check="full")
+                # staleness only shows on a second, different request
+                run_case(replace(case, parts=2), check="full")
+            except Exception:
+                return True
+    return False

@@ -63,6 +63,8 @@ __all__ = [
     "measure_speedup",
     "measure_trace_overhead",
     "trace_overhead_tolerance",
+    "measure_check_overhead",
+    "check_overhead_tolerance",
     "sweep_specs",
     "run_sweep",
     "measure_sweep_speedup",
@@ -109,6 +111,14 @@ TRACE_OVERHEAD_MAX = 1.02
 #: Timing repetitions per leg in :func:`measure_trace_overhead`
 #: (per-cell best-of, both legs run back to back per cell).
 TRACE_OVERHEAD_REPS = 5
+
+#: Maximum ``--check off`` / no-check wall-clock ratio the invariant-
+#: checking overhead gate enforces (< 2% overhead with checking off);
+#: override with the ``REPRO_CHECK_OVERHEAD_TOL`` environment variable.
+CHECK_OVERHEAD_MAX = 1.02
+
+#: Timing repetitions per leg in :func:`measure_check_overhead`.
+CHECK_OVERHEAD_REPS = 5
 
 #: Relative tolerance for simulated (machine-independent) float metrics.
 SIM_RTOL = 1e-6
@@ -220,6 +230,7 @@ def run_cell(
     comm: str,
     use_scalar_extraction: bool = False,
     tracer=None,
+    check=None,
 ) -> CellResult:
     """Run one cell and collect its measurements."""
     if engine not in _ENGINES:
@@ -234,6 +245,7 @@ def run_cell(
         comm_config=_COMM_CONFIGS[comm],
         check_memory=False,
         tracer=tracer,
+        check=check,
     )
     eng.comm.use_scalar_extraction = use_scalar_extraction
     start = time.perf_counter()
@@ -365,6 +377,61 @@ def measure_trace_overhead(reps: int = TRACE_OVERHEAD_REPS) -> dict:
         "no_tracer_wall_seconds": off,
         "disabled_tracer_wall_seconds": disabled,
         "overhead_ratio": disabled / max(off, 1e-12),
+    }
+
+
+def check_overhead_tolerance() -> float:
+    return float(os.environ.get("REPRO_CHECK_OVERHEAD_TOL", CHECK_OVERHEAD_MAX))
+
+
+def measure_check_overhead(reps: int = CHECK_OVERHEAD_REPS) -> dict:
+    """Wall-clock of the matrix with checking unset vs ``--check off``.
+
+    This is the zero-overhead-when-off gate for :mod:`repro.check`: an
+    engine constructed with an explicit ``check="off"`` must cost no
+    more than one that never heard of the checking subsystem (``check``
+    left at its default, ambient level ``OFF``).  Both legs compile the
+    same two pre-computed booleans into the round loop, so the only
+    thing this can catch is exactly what it must: work creeping outside
+    the ``if check_cheap:`` guards.  Methodology is identical to
+    :func:`measure_trace_overhead` — per-cell back-to-back legs,
+    best-of-``reps``, deterministic metrics forced to agree.
+    """
+    workload = _Workload(MATRIX_GRAPH)
+    keys = [
+        (a, p, e, c)
+        for a in MATRIX_APPS
+        for p in MATRIX_POLICIES
+        for e in MATRIX_ENGINES
+        for c in MATRIX_COMMS
+    ]
+
+    # warm-up: partitions, memoized sync plans, allocator steady state
+    reference = {}
+    for a, p, e, c in keys:
+        cell = run_cell(workload, a, p, e, c)
+        reference[cell.key] = cell.deterministic_fields()
+    unset_best: dict[str, float] = {}
+    off_best: dict[str, float] = {}
+    for _ in range(max(1, int(reps))):
+        for a, p, e, c in keys:
+            for check, best in ((None, unset_best), ("off", off_best)):
+                cell = run_cell(workload, a, p, e, c, check=check)
+                if cell.deterministic_fields() != reference[cell.key]:
+                    raise ConfigurationError(
+                        "check=off changed deterministic results on "
+                        f"{cell.key}: {cell.deterministic_fields()} vs "
+                        f"{reference[cell.key]}"
+                    )
+                best[cell.key] = min(
+                    cell.wall_seconds, best.get(cell.key, cell.wall_seconds)
+                )
+    unset, off = sum(unset_best.values()), sum(off_best.values())
+    return {
+        "cells": len(keys),
+        "no_check_wall_seconds": unset,
+        "check_off_wall_seconds": off,
+        "overhead_ratio": off / max(unset, 1e-12),
     }
 
 

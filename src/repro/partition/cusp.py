@@ -66,10 +66,22 @@ def partition(
     if num_partitions < 1:
         raise ConfigurationError("need at least one partition")
     if cache:
-        return get_cache().lookup_or_build(
+        pg = get_cache().lookup_or_build(
             graph, policy, num_partitions, POLICIES[policy]
         )
-    return POLICIES[policy](graph, num_partitions)
+    else:
+        pg = POLICIES[policy](graph, num_partitions)
+    from repro.check.level import current_check_level
+
+    level = current_check_level()
+    if level:
+        from repro.check import check_partition, check_partition_request
+
+        # the request check is never memoized: it is what catches a stale
+        # or mis-keyed cache entry answering the wrong (policy, P) request
+        check_partition_request(pg, policy, num_partitions)
+        check_partition(pg, level)
+    return pg
 
 
 def clear_partition_cache() -> None:

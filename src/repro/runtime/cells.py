@@ -33,6 +33,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.errors import (
+    InvariantViolation,
     ReproError,
     SimulatedCrashError,
     SimulatedOOMError,
@@ -134,7 +135,8 @@ class CellOutcome:
     stats: Any = None  # RunStats for CellSpec tasks
     pstats: Any = None  # PartitionStats for PartitionStatsSpec tasks
     failure: str = ""
-    failure_kind: str = ""  # "" | "oom" | "unsupported" | "crash" | "error"
+    # "" | "oom" | "unsupported" | "crash" | "invariant" | "error"
+    failure_kind: str = ""
     elapsed: float = 0.0
     partition_builds: int = 0
     labels_crc: Optional[int] = None
@@ -147,7 +149,7 @@ class CellOutcome:
 
     def failure_label(self) -> str:
         """The driver-facing failure string (matches ``ScalingPoint``)."""
-        if self.failure_kind in ("oom", "unsupported", "crash"):
+        if self.failure_kind in ("oom", "unsupported", "crash", "invariant"):
             return f"{self.failure_kind}: {self.failure}"
         return self.failure
 
@@ -166,6 +168,12 @@ class CellOutcome:
             if args is not None:
                 raise SimulatedCrashError(*args)
             raise SimulatedCrashError(self.failure)
+        if self.failure_kind == "invariant":
+            # ``failure`` already carries the "[checker]" prefix; rebuild
+            # the exception around it and restore the attribute directly.
+            err = InvariantViolation(self.failure)
+            err.checker = self.extra.get("checker", "")
+            raise err
         if self.failure_kind:
             raise ReproError(self.failure)
 
@@ -253,6 +261,12 @@ def run_task(spec: CellSpec | PartitionStatsSpec) -> CellOutcome:
             # Same treatment as OOM: keep the crash site so raise_failure
             # and the drivers report where the simulated run died.
             out.extra = {"crash_args": (str(e), e.gpu_index, e.round_index)}
+        except InvariantViolation as e:
+            # not a missing data point: a correctness checker fired.  The
+            # sweep records it so ``--check`` runs report every breach with
+            # its cell key instead of dying on the first one.
+            out.failure, out.failure_kind = str(e), "invariant"
+            out.extra = {"checker": e.checker}
         except ReproError as e:
             out.failure, out.failure_kind = str(e), "error"
     finally:

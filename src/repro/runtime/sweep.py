@@ -50,7 +50,11 @@ def default_start_method() -> str:
     return multiprocessing.get_start_method()
 
 
-def _worker_init(cache_dir: Optional[str], trace_dir: Optional[str] = None) -> None:
+def _worker_init(
+    cache_dir: Optional[str],
+    trace_dir: Optional[str] = None,
+    check=None,
+) -> None:
     from repro import obs
     from repro.partition.cache import configure, get_cache
 
@@ -58,6 +62,10 @@ def _worker_init(cache_dir: Optional[str], trace_dir: Optional[str] = None) -> N
         configure(cache_dir=cache_dir)
     if trace_dir is not None and obs.active_trace_dir() != trace_dir:
         obs.configure(trace_dir=trace_dir)
+    if check is not None:
+        from repro.check import set_check_level
+
+        set_check_level(check)
 
 
 class SweepExecutor:
@@ -77,6 +85,11 @@ class SweepExecutor:
         when set, every cell writes a Chrome trace JSON here (see
         :mod:`repro.obs`); workers inherit the setting through the pool
         initializer.
+    check:
+        runtime invariant-checking level (``"off"``/``"cheap"``/``"full"``
+        or a :class:`~repro.check.CheckLevel`); installed as the ambient
+        level in the parent and every worker.  ``None`` leaves whatever
+        level is already ambient untouched.
     """
 
     def __init__(
@@ -86,16 +99,22 @@ class SweepExecutor:
         engine_executor: str = "serial",
         start_method: Optional[str] = None,
         trace_dir: Optional[str] = None,
+        check=None,
     ):
         self.jobs = int(jobs)
         self.cache_dir = cache_dir
         self.engine_executor = engine_executor
         self.start_method = start_method or default_start_method()
         self.trace_dir = None if trace_dir is None else str(trace_dir)
+        if check is not None:
+            from repro.check import parse_check_level
+
+            check = parse_check_level(check)
+        self.check = check
         self._pool: Optional[ProcessPoolExecutor] = None
         # the parent process shares the same disk store so serial runs,
         # fallbacks, and pool workers all hit one set of files
-        _worker_init(cache_dir, self.trace_dir)
+        _worker_init(cache_dir, self.trace_dir, self.check)
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "SweepExecutor":
@@ -118,7 +137,7 @@ class SweepExecutor:
                 max_workers=workers,
                 mp_context=multiprocessing.get_context(self.start_method),
                 initializer=_worker_init,
-                initargs=(self.cache_dir, self.trace_dir),
+                initargs=(self.cache_dir, self.trace_dir, self.check),
             )
         return self._pool
 

@@ -153,6 +153,11 @@ def main(argv: list[str] | None = None) -> int:
         help="write one Chrome trace JSON per study cell to DIR "
         "(open in Perfetto; summarize with repro-trace)",
     )
+    parser.add_argument(
+        "--check", choices=("off", "cheap", "full"), default="off",
+        help="runtime invariant checking in every cell (see "
+        "docs/correctness.md); 'full' is for debugging sweeps, not timing",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -174,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         engine_executor=args.engine_executor,
         trace_dir=args.trace,
+        check=args.check,
     ) as ex:
         for name in names:
             t0 = time.time()

@@ -1,0 +1,48 @@
+"""Replay every committed fuzz case under ``tests/cases/``.
+
+Each JSON file is a shrunk reproducer of a bug the fuzzer once found.
+Replaying it at FULL check level must now succeed — or, for bugs whose
+fix was to *forbid* the configuration (e.g. bfs-do under BASP), must be
+refused with the documented configuration error rather than produce a
+wrong answer.  Dropping a file from this directory silently removes a
+regression guard; the suite fails if the directory is empty.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError, InvariantViolation, ReproError
+from repro.fuzz.cases import Case, CaseFailure, run_case
+
+CASE_DIR = os.path.join(os.path.dirname(__file__), "cases")
+CASE_FILES = sorted(glob.glob(os.path.join(CASE_DIR, "*.json")))
+
+
+def test_case_directory_is_not_empty():
+    assert CASE_FILES, "tests/cases/ lost its regression reproducers"
+
+
+@pytest.mark.parametrize(
+    "path", CASE_FILES, ids=[os.path.basename(p) for p in CASE_FILES]
+)
+def test_replay_committed_case(path):
+    case = Case.load(path)
+    try:
+        labels = run_case(case, check="full")
+    except (InvariantViolation, CaseFailure):
+        raise  # the original bug is back
+    except ConfigurationError:
+        # acceptable only when the fix outlawed the configuration —
+        # the app must genuinely refuse this engine now
+        from repro.apps import get_app
+
+        assert case.engine == "basp" and not get_app(case.app).async_capable
+        return
+    except ReproError as e:  # pragma: no cover - any other refusal is a bug
+        pytest.fail(f"{os.path.basename(path)} refused unexpectedly: {e}")
+    if case.fault_plan:
+        assert labels is None  # the scheduled crash must still fire
+    else:
+        assert labels is not None

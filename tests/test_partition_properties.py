@@ -95,3 +95,52 @@ def test_local_degrees_sum_to_global(gp, policy):
     for p in pg.parts:
         np.add.at(acc, p.local_to_global, p.graph.out_degrees())
     assert np.array_equal(acc, g.out_degrees())
+
+
+# --------------------------------------------------------------------- #
+# the runtime invariant checkers, property-tested (PR 4)
+# --------------------------------------------------------------------- #
+# ``check_partition`` at FULL re-derives every structural invariant above
+# (and more: edge multiset conservation, per-policy placement rules) from
+# the partitioned structure alone.  Running it over arbitrary graphs for
+# every policy x partition count — including the awkward prime P=5 that
+# CVC pads into a ragged grid — is the standing guarantee that ``--check``
+# never false-positives on a healthy partitioning.
+
+from repro.check import CheckLevel, check_partition, check_partition_request
+
+
+@st.composite
+def graph_and_any_parts(draw):
+    g = draw(graphs())
+    p = draw(st.sampled_from([1, 2, 3, 4, 5, 6, 8]))
+    return g, p
+
+
+@given(gp=graph_and_any_parts(), policy=st.sampled_from(sorted(POLICIES)))
+@settings(max_examples=60, deadline=None)
+def test_checkers_accept_every_healthy_partition(gp, policy):
+    g, parts = gp
+    pg = partition(g, policy, parts, cache=False)
+    check_partition_request(pg, policy, parts)
+    check_partition(pg, CheckLevel.FULL)
+
+
+@given(gp=graph_and_any_parts(), policy=st.sampled_from(sorted(POLICIES)))
+@settings(max_examples=25, deadline=None)
+def test_checkers_reject_mirror_promotion(gp, policy):
+    """Promoting any mirror to master must always be caught at CHEAP."""
+    import pytest
+
+    from repro.errors import InvariantViolation
+
+    g, parts = gp
+    pg = partition(g, policy, parts, cache=False)
+    victims = [p for p in pg.parts if not p.is_master.all()]
+    if not victims:
+        return  # no mirrors anywhere (e.g. P=1): nothing to corrupt
+    part = victims[0]
+    part.is_master[int(np.flatnonzero(~part.is_master)[0])] = True
+    pg.__dict__.pop("_check_level_done", None)
+    with pytest.raises(InvariantViolation):
+        check_partition(pg, CheckLevel.CHEAP)
