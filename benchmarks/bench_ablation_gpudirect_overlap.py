@@ -29,6 +29,7 @@ def test_gpudirect_and_overlap(once):
         configs = [
             ("host-routed (baseline)", bridges(32), 0.0),
             ("overlap 90%", bridges(32), 0.9),
+            ("overlap 100%", bridges(32), 1.0),
             ("GPUDirect", bridges(32, gpudirect=True), 0.0),
             ("GPUDirect + overlap", bridges(32, gpudirect=True), 0.9),
         ]
@@ -62,4 +63,19 @@ def test_gpudirect_and_overlap(once):
     assert (
         out["GPUDirect + overlap"].execution_time
         <= out["GPUDirect"].execution_time + 1e-9
+    )
+    # overlap can hide comm behind compute, never behind more compute
+    # than exists: even at 100% the total saving per run is bounded by
+    # the compute budget.  (This is the regression guard for the old
+    # double-counted hiding budget, where send and recv each hid a full
+    # compute's worth and the bound below was violated.)
+    for label in ("overlap 90%", "overlap 100%"):
+        saved = base.execution_time - out[label].execution_time
+        assert saved <= base.max_compute + 1e-9, (
+            f"{label} hid {saved:.4f}s of comm behind only "
+            f"{base.max_compute:.4f}s of compute"
+        )
+    assert (
+        out["overlap 100%"].execution_time
+        <= out["overlap 90%"].execution_time + 1e-9
     )

@@ -1,0 +1,150 @@
+"""Ablation — shared-link contention and two-level (intra-host -> network)
+synchronization.
+
+Section V-C attributes CVC's scaling edge to communication-partner count:
+every partner is a message through the host NIC that all of a host's GPUs
+share.  This bench runs bfs/twitter50-s on bridges-64 (32 hosts x 2 GPUs)
+across {flat, contended, contended+hierarchical} x {CVC, OEC}:
+
+* two-level sync must cut cross-host wire messages >= 1.5x for both
+  policies (one aggregate per host pair instead of one message per GPU
+  pair);
+* the CVC-vs-OEC margin (the Figure 7/8 partner effect) must survive —
+  and widen — under contention with aggregation, because OEC's partner
+  count is what aggregation and queueing both tax;
+* aggregation re-times, it does not re-price: labels stay identical and
+  the wall-clock cost of waiting for an aggregate's last member stays
+  small;
+* a single-host DGX-2 has no inter-host traffic, so the hierarchical
+  path must be an exact no-op there.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import archive
+from repro.apps import get_app
+from repro.comm import CommConfig
+from repro.engine import BSPEngine, RunContext
+from repro.generators import load_dataset
+from repro.hw import ContentionConfig, bridges
+from repro.hw.cluster import dgx2
+from repro.partition import partition
+from repro.study.report import format_table
+
+#: two-level sync must fold this many flat cross-host messages per wire
+#: message (matches the bench_regression hier gate)
+HIER_AGG_MIN = 1.5
+
+#: re-timing slack: an aggregate departs when its *last* member clears
+#: PCIe, so early members wait — bounded, never a blow-up
+HIER_TIME_SLACK = 1.5
+
+
+def test_contention_and_hierarchy(once):
+    def run():
+        ds = load_dataset("twitter50-s")
+        ctx = RunContext(
+            num_global_vertices=ds.graph.num_vertices,
+            source=ds.source_vertex,
+            global_out_degrees=ds.graph.out_degrees(),
+        )
+        configs = [
+            ("flat", None, False),
+            ("contended", ContentionConfig(), False),
+            ("contended+hier", ContentionConfig(), True),
+        ]
+        rows, out = [], {}
+        for policy in ("cvc", "oec"):
+            pg = partition(ds.graph, policy, 64)
+            for label, contention, hier in configs:
+                res = BSPEngine(
+                    pg, bridges(64, contention=contention), get_app("bfs"),
+                    scale_factor=ds.scale_factor, check_memory=False,
+                    comm_config=CommConfig(hierarchical=hier),
+                ).run(ctx)
+                out[(policy, label)] = res
+                s = res.stats
+                rows.append([
+                    policy.upper(), label,
+                    round(s.execution_time, 3), round(s.min_wait, 3),
+                    s.inter_host_messages, s.num_messages,
+                ])
+        text = format_table(
+            ["policy", "config", "time (s)", "min wait (s)",
+             "inter-host msgs", "wire msgs"],
+            rows,
+            title="Ablation: shared-link contention + two-level sync "
+                  "(bfs/twitter50-s@64, 32 hosts)",
+        )
+        return out, text
+
+    out, text = once(run)
+    archive("ablation_hier_contention", text)
+
+    for policy in ("cvc", "oec"):
+        flat = out[(policy, "flat")].stats
+        cont = out[(policy, "contended")].stats
+        hier = out[(policy, "contended+hier")].stats
+        # same answers in every mode
+        assert np.array_equal(
+            out[(policy, "flat")].labels, out[(policy, "contended")].labels
+        )
+        assert np.array_equal(
+            out[(policy, "flat")].labels,
+            out[(policy, "contended+hier")].labels,
+        )
+        # contention only re-times the same wire traffic
+        assert cont.num_messages == flat.num_messages
+        assert cont.execution_time >= flat.execution_time
+        # aggregation folds >= 1.5x of the cross-host messages away
+        assert hier.inter_host_messages * HIER_AGG_MIN <= flat.inter_host_messages
+        assert hier.comm_volume_bytes < flat.comm_volume_bytes
+        # ... at a bounded re-timing cost
+        assert hier.execution_time <= flat.execution_time * HIER_TIME_SLACK
+
+    # the Figure 7/8 partner effect: CVC's bounded partner count beats
+    # OEC in every mode, and the margin *widens* once the shared links
+    # and the per-host aggregation tax OEC's partner count directly
+    for label in ("flat", "contended", "contended+hier"):
+        assert (
+            out[("cvc", label)].stats.execution_time
+            < out[("oec", label)].stats.execution_time
+        )
+    flat_margin = (
+        out[("oec", "flat")].stats.execution_time
+        / out[("cvc", "flat")].stats.execution_time
+    )
+    hier_margin = (
+        out[("oec", "contended+hier")].stats.execution_time
+        / out[("cvc", "contended+hier")].stats.execution_time
+    )
+    assert hier_margin > flat_margin
+
+
+def test_dgx2_hier_noop(once):
+    """One host, zero inter-host messages: hier must change nothing."""
+
+    def run():
+        from repro.generators import rmat
+
+        g = rmat(10, edge_factor=8, seed=3)
+        ctx = RunContext(
+            num_global_vertices=g.num_vertices,
+            source=int(np.argmax(g.out_degrees())),
+            global_out_degrees=g.out_degrees(),
+        )
+        pg = partition(g, "cvc", 16, cache=False)
+        results = []
+        for hier in (False, True):
+            results.append(BSPEngine(
+                pg, dgx2(16), get_app("bfs"), check_memory=False,
+                comm_config=CommConfig(hierarchical=hier),
+            ).run(ctx))
+        return results
+
+    flat, hier = once(run)
+    assert np.array_equal(flat.labels, hier.labels)
+    assert hier.stats.execution_time == flat.stats.execution_time
+    assert hier.stats.comm_volume_bytes == flat.stats.comm_volume_bytes
+    assert hier.stats.inter_host_messages == 0
+    assert hier.stats.hier_aggregates == 0

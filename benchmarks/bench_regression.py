@@ -28,6 +28,16 @@ Three guards, two committed baselines (``benchmarks/BENCH_sync.json``,
   ``check="off"`` must stay within 2% of the check-unset wall-clock
   (``REPRO_CHECK_OVERHEAD_TOL`` overrides), with identical deterministic
   metrics; ``repro.check`` must cost nothing when off.
+* the **contention overhead gate** — the matrix with a *disabled*
+  ``repro.hw.ContentionConfig`` attached must stay within 2% of the
+  no-contention wall-clock (``REPRO_CONTENTION_OVERHEAD_TOL``
+  overrides), with identical deterministic metrics; shared-resource
+  pricing must cost nothing when off.
+* the **hierarchical-aggregation gate** — two-level (intra-host ->
+  network) sync on the pr/cvc cell at bridges-32 scale must cut
+  cross-host wire messages >= 1.5x while leaving labels, rounds, and
+  work bit-identical.  Fully deterministic, so it runs with
+  ``--check-only`` in CI.
 
 Usage::
 
@@ -48,15 +58,19 @@ import sys
 
 from benchmarks.conftest import archive
 from repro.metrics.perfbaseline import (
+    HIER_AGG_MIN,
     SPEEDUP_MIN_RATIO,
     SWEEP_SPEEDUP_MIN,
     check_overhead_tolerance,
+    contention_overhead_tolerance,
     compare_sweep_to_baseline,
     compare_to_baseline,
     default_wall_tolerance,
     load_baseline,
     load_sweep_baseline,
     measure_check_overhead,
+    measure_contention_overhead,
+    measure_hier_aggregation,
     measure_speedup,
     measure_sweep_speedup,
     measure_trace_overhead,
@@ -124,6 +138,25 @@ def _check_line(sp: dict) -> str:
     )
 
 
+def _contention_line(sp: dict) -> str:
+    return (
+        f"contention overhead over {sp['cells']} matrix cells: "
+        f"{sp['no_contention_wall_seconds'] * 1e3:.1f} ms no config / "
+        f"{sp['contention_off_wall_seconds'] * 1e3:.1f} ms disabled config "
+        f"= {sp['overhead_ratio']:.4f}x "
+        f"(gate: <= {contention_overhead_tolerance():.2f}x)"
+    )
+
+
+def _hier_line(sp: dict) -> str:
+    return (
+        f"two-level sync on {sp['cell']} @ {sp['parts']} partitions: "
+        f"{sp['flat_inter_host_messages']} flat / "
+        f"{sp['hier_inter_host_messages']} hierarchical inter-host messages "
+        f"= {sp['ratio']:.2f}x fewer (gate: >= {HIER_AGG_MIN:.1f}x)"
+    )
+
+
 def _sweep_line(sp: dict) -> str:
     return (
         f"sweep runtime on {sp['dataset']} ({sp['cells']} cells): "
@@ -179,6 +212,20 @@ def test_check_overhead(once):
     assert sp["overhead_ratio"] <= check_overhead_tolerance(), _check_line(sp)
 
 
+def test_contention_overhead(once):
+    sp = once(measure_contention_overhead)
+    archive("regression_contention_overhead", _contention_line(sp))
+    assert sp["overhead_ratio"] <= contention_overhead_tolerance(), (
+        _contention_line(sp)
+    )
+
+
+def test_hier_aggregation(once):
+    sp = once(measure_hier_aggregation)
+    archive("regression_hier_aggregation", _hier_line(sp))
+    assert sp["ratio"] >= HIER_AGG_MIN, _hier_line(sp)
+
+
 # --------------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------------- #
@@ -207,6 +254,16 @@ def main(argv=None) -> int:
         help="run just the invariant-checking overhead gate (what the CI "
              "correctness job runs)",
     )
+    ap.add_argument(
+        "--contention-overhead-only", action="store_true",
+        help="run just the contention overhead gate (what the CI comm "
+             "job runs)",
+    )
+    ap.add_argument(
+        "--hier-aggregation-only", action="store_true",
+        help="run just the hierarchical-aggregation gate (deterministic; "
+             "what the CI comm job runs)",
+    )
     args = ap.parse_args(argv)
 
     if args.trace_overhead_only:
@@ -225,6 +282,24 @@ def main(argv=None) -> int:
             print("REGRESSION: invariant-checking overhead gate failed")
             return 1
         print("invariant-checking overhead within tolerance")
+        return 0
+
+    if args.contention_overhead_only:
+        sp = measure_contention_overhead()
+        print(_contention_line(sp))
+        if sp["overhead_ratio"] > contention_overhead_tolerance():
+            print("REGRESSION: contention overhead gate failed")
+            return 1
+        print("contention overhead within tolerance")
+        return 0
+
+    if args.hier_aggregation_only:
+        sp = measure_hier_aggregation()
+        print(_hier_line(sp))
+        if sp["ratio"] < HIER_AGG_MIN:
+            print("REGRESSION: hierarchical-aggregation gate failed")
+            return 1
+        print("hierarchical aggregation meets the gate")
         return 0
 
     results = run_matrix()
@@ -272,6 +347,16 @@ def main(argv=None) -> int:
               "run with --update first")
         return 2
 
+    # deterministic, so it runs in --check-only mode too
+    hier_sp = measure_hier_aggregation()
+    print(_hier_line(hier_sp))
+    if hier_sp["ratio"] < HIER_AGG_MIN:
+        violations.append(
+            f"hierarchical-aggregation gate: {hier_sp['ratio']:.2f}x < "
+            f"{HIER_AGG_MIN:.1f}x"
+        )
+        print(f"REGRESSION: {violations[-1]}")
+
     if not args.check_only:
         speedup = measure_speedup()
         print(_speedup_line(speedup))
@@ -310,6 +395,15 @@ def main(argv=None) -> int:
                 "invariant-checking overhead gate: "
                 f"{check_sp['overhead_ratio']:.4f}x > "
                 f"{check_overhead_tolerance():.2f}x"
+            )
+            print(f"REGRESSION: {violations[-1]}")
+        contention_sp = measure_contention_overhead()
+        print(_contention_line(contention_sp))
+        if contention_sp["overhead_ratio"] > contention_overhead_tolerance():
+            violations.append(
+                "contention overhead gate: "
+                f"{contention_sp['overhead_ratio']:.4f}x > "
+                f"{contention_overhead_tolerance():.2f}x"
             )
             print(f"REGRESSION: {violations[-1]}")
 

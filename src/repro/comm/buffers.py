@@ -107,8 +107,21 @@ class MessageBatch(NamedTuple):
     scanned_elements: np.ndarray  # float64 UO extraction scan length
 
 
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+
+
 def batch_arrays(messages: list[Message]) -> MessageBatch:
-    """Collect per-message scalars into arrays, one attribute pass total."""
+    """Collect per-message scalars into arrays, one attribute pass total.
+
+    An empty batch returns explicitly empty arrays so callers never feed
+    shape-dependent NumPy edge cases (empty ``np.add.at`` targets, empty
+    reductions) from an empty sync step.
+    """
+    if not messages:
+        return MessageBatch(
+            _EMPTY_I64, _EMPTY_I64, _EMPTY_F64, _EMPTY_F64, _EMPTY_F64
+        )
     n = len(messages)
     src = np.empty(n, dtype=np.int64)
     dst = np.empty(n, dtype=np.int64)

@@ -109,11 +109,17 @@ class CommConfig:
     ``update_only=False`` is the AS variant; Lux is
     ``CommConfig(update_only=False, memoize_addresses=False)``.
     ``invariant_filtering`` exists for ablation (always on in D-IrGL).
+    ``hierarchical`` opts into two-level sync (:mod:`repro.comm.hier`):
+    same-host mirror updates ship as one inter-host message per (host,
+    field, step) and are scattered on the receiving host; labels stay
+    bit-identical to flat sync, only network-leg pricing and wire message
+    counts change.
     """
 
     update_only: bool = True
     memoize_addresses: bool = True
     invariant_filtering: bool = True
+    hierarchical: bool = False
 
 
 @dataclass

@@ -1,0 +1,90 @@
+"""Two-level (intra-host -> network) Gluon synchronization.
+
+Real Gluon aggregates same-host GPU traffic before the network leg: each
+host gathers its devices' mirror updates for a remote host into **one**
+staging buffer and ships a single inter-host message per (destination
+host, field, sync step), which the receiving host scatters to its devices
+— the hierarchy behind NCCL-style hierarchical allreduce and the reason
+communication-*partner* count (not bytes) governs scaling (Section V-C).
+
+The flat engines price every GPU-pair message as its own network send.
+This module groups a priced batch's cross-host messages into
+:class:`HostAggregate` envelopes.  The model is deliberately conservative:
+
+* payloads are **concatenated**, not combined — every sub-message is still
+  applied at the receiver in its original order, so labels are
+  bit-identical to flat sync for every reduction operator (floating-point
+  ``add`` is not associative, so a host-side combine would not be);
+* the aggregate's wire size is the sum of its members' minus the shared
+  envelope headers (one :data:`~repro.comm.buffers.HEADER_BYTES` survives
+  per aggregate);
+* the PCIe up/down legs and extraction scans of every member are still
+  paid per device — only the network leg is shared.
+
+The win is therefore structural: one network latency and one NIC queue
+slot per (host, host, field, step) instead of one per GPU pair — exactly
+the partner-count effect the contended model (:mod:`repro.hw.contention`)
+makes expensive.
+
+Opt in per run via ``CommConfig(hierarchical=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from repro.comm.buffers import HEADER_BYTES
+
+__all__ = ["HostAggregate", "group_cross_host"]
+
+
+class HostAggregate(NamedTuple):
+    """One inter-host wire message carrying several sub-messages."""
+
+    src_host: int
+    dst_host: int
+    members: np.ndarray  # indices into the priced batch, in batch order
+    wire_bytes: float  # scaled bytes of the single aggregated message
+    saved_bytes: float  # scaled envelope bytes the aggregation removed
+
+
+def group_cross_host(
+    src_host: np.ndarray,
+    dst_host: np.ndarray,
+    cross: np.ndarray,
+    scaled_bytes: np.ndarray,
+    volume_scale: float,
+    keys: Sequence | None = None,
+) -> list[HostAggregate]:
+    """Group cross-host messages into one aggregate per host pair.
+
+    ``cross`` masks the messages that leave their host.  ``keys`` adds an
+    extra per-message grouping component (BASP batches can mix fields and
+    phases in one send; BSP steps are single-field so it stays ``None``).
+    Aggregates come back in first-appearance order, members in batch
+    order, so downstream FIFO scheduling is deterministic.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i in np.flatnonzero(cross):
+        i = int(i)
+        k = (int(src_host[i]), int(dst_host[i]))
+        if keys is not None:
+            k = k + (keys[i],)
+        groups.setdefault(k, []).append(i)
+    header_scaled = HEADER_BYTES * volume_scale
+    out = []
+    for k, members in groups.items():
+        idx = np.asarray(members, dtype=np.int64)
+        saved = header_scaled * (len(members) - 1)
+        out.append(
+            HostAggregate(
+                src_host=k[0],
+                dst_host=k[1],
+                members=idx,
+                wire_bytes=float(scaled_bytes[idx].sum()) - saved,
+                saved_bytes=saved,
+            )
+        )
+    return out

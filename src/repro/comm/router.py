@@ -17,9 +17,11 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.comm.buffers import Message, batch_arrays
+from repro.comm.hier import HostAggregate, group_cross_host
 from repro.hw.cluster import Cluster
+from repro.hw.contention import ContentionModel
 
-__all__ = ["LegTimes", "BatchLegTimes", "RoutedMessage", "Router"]
+__all__ = ["LegTimes", "BatchLegTimes", "StepNetwork", "RoutedMessage", "Router"]
 
 #: Device-side extraction rate for the UO prefix scan: proxies scanned per
 #: second.  Scanning is bandwidth-bound over the proxy array; the constant
@@ -65,6 +67,22 @@ class BatchLegTimes(NamedTuple):
     scaled_bytes: np.ndarray  # paper-scale wire bytes
 
 
+class StepNetwork(NamedTuple):
+    """Network-leg schedule for one priced batch (see ``route_step``).
+
+    With contention and hierarchy both off this reproduces
+    ``BatchLegTimes.inter`` exactly; otherwise ``eff_inter[i]`` is the
+    span from message ``i`` clearing its device's up leg to its (possibly
+    aggregated, possibly queued) network service completing.
+    """
+
+    eff_inter: np.ndarray  # per-message effective network-leg seconds
+    inter_host_messages: int  # cross-host wire messages (after aggregation)
+    messages_saved: int  # cross-host messages folded away by aggregation
+    aggregates: int  # HostAggregates formed (0 unless hierarchical)
+    saved_bytes: float  # scaled envelope bytes aggregation removed
+
+
 @dataclass(frozen=True)
 class RoutedMessage:
     """A priced message with its delivery time."""
@@ -81,11 +99,27 @@ class RoutedMessage:
 class Router:
     """Prices messages over a :class:`Cluster` topology."""
 
-    def __init__(self, cluster: Cluster, volume_scale: float = 1.0):
+    def __init__(
+        self,
+        cluster: Cluster,
+        volume_scale: float = 1.0,
+        contention: ContentionModel | None = None,
+    ):
         """``volume_scale`` inflates wire bytes to paper scale so transfer
-        times (and reported GB) correspond to the real datasets."""
+        times (and reported GB) correspond to the real datasets.
+
+        ``contention`` attaches a shared-resource model; when omitted, one
+        is built from the cluster's own ``contention`` config (a disabled
+        config normalizes to ``None``, like a disabled tracer, so the flat
+        path pays nothing).
+        """
         self.cluster = cluster
         self.volume_scale = float(volume_scale)
+        if contention is None:
+            cfg = getattr(cluster, "contention", None)
+            if cfg is not None and cfg.enabled:
+                contention = ContentionModel(cluster, cfg)
+        self.contention = contention
 
     def scaled_bytes(self, msg: Message) -> float:
         return msg.wire_bytes() * self.volume_scale
@@ -119,14 +153,16 @@ class Router:
             if c.same_host(src, dst):
                 return LegTimes(post, c.intra_host.time(nbytes), post)
             return LegTimes(post, c.network.time(nbytes), post)
-        ser_rate = c.hosts[0].serialization_rate
         # Each side's host walks every element once (pack on the sender,
         # unpack + address resolution on the receiver).  This per-element
-        # cost is charged to the host-device legs: it is what the paper's
-        # "Device Comm." bucket is made of.
-        ser = elements / ser_rate
-        d2h = c.pcie.time(nbytes) + ser
-        h2d = c.pcie.time(nbytes) + ser
+        # cost is charged to the host-device legs — at each endpoint's own
+        # host rate: the *sender's* host packs, the *receiver's* unpacks.
+        d2h = c.pcie.time(nbytes) + (
+            elements / c.hosts[c.host_of[src]].serialization_rate
+        )
+        h2d = c.pcie.time(nbytes) + (
+            elements / c.hosts[c.host_of[dst]].serialization_rate
+        )
         if c.same_host(src, dst):
             # staged through pinned host memory; no network leg.
             return LegTimes(
@@ -138,14 +174,33 @@ class Router:
         """Price and timestamp one message departing at ``depart``."""
         return RoutedMessage(message=msg, depart=depart, legs=self.legs(msg))
 
-    def price_batch(self, messages: list[Message]) -> BatchLegTimes:
+    def price_batch(
+        self, messages: list[Message], *, contended: bool = False
+    ) -> BatchLegTimes:
         """Price a whole message batch in one vectorized pass.
+
+        ``contended=True`` (requires a contention model) additionally
+        queues same-resource network legs FIFO (shared NIC per host,
+        shared staging path) and returns the batch with ``inter`` replaced
+        by the effective queued spans — the per-message leg formulas stay
+        the service times.  The default path is untouched.
 
         Replicates :meth:`legs` elementwise (same expressions, same
         operation order, so the floats match the scalar path exactly) and
         folds in :meth:`extraction_time` and :meth:`scaled_bytes`, which
         the engines always need alongside the legs.
+
+        An empty batch returns explicitly empty arrays (no NumPy
+        empty-shape edge cases downstream of an empty sync step).
         """
+        if not messages:
+            e = np.empty(0)
+            return BatchLegTimes(
+                src=np.empty(0, dtype=np.int64),
+                dst=np.empty(0, dtype=np.int64),
+                d2h=e, inter=e.copy(), h2d=e.copy(),
+                extraction=e.copy(), scaled_bytes=e.copy(),
+            )
         batch = batch_arrays(messages)
         nbytes = batch.wire_bytes * self.volume_scale
         elements = batch.num_elements * self.volume_scale
@@ -165,10 +220,14 @@ class Router:
                 c.network.latency_s + nbytes / c.network.bandwidth_bytes,
             )
         else:
-            ser = elements / c.hosts[0].serialization_rate
+            # sender's host packs at its rate; receiver's host unpacks at
+            # its own — same expressions as the scalar ``legs`` path, so
+            # the floats match exactly (and collapse to the old shared
+            # constant on homogeneous-host clusters)
+            rates = np.array([h.serialization_rate for h in c.hosts])
             pcie = c.pcie.latency_s + nbytes / c.pcie.bandwidth_bytes
-            d2h = pcie + ser
-            h2d = pcie + ser
+            d2h = pcie + elements / rates[host_of[batch.src]]
+            h2d = pcie + elements / rates[host_of[batch.dst]]
             inter = np.where(
                 same,
                 (c.intra_host.latency_s + nbytes / c.intra_host.bandwidth_bytes)
@@ -180,7 +239,7 @@ class Router:
             d2h = np.where(loop, 0.0, d2h)
             inter = np.where(loop, 0.0, inter)
             h2d = np.where(loop, 0.0, h2d)
-        return BatchLegTimes(
+        pr = BatchLegTimes(
             src=batch.src,
             dst=batch.dst,
             d2h=d2h,
@@ -188,6 +247,117 @@ class Router:
             h2d=h2d,
             extraction=extraction,
             scaled_bytes=nbytes,
+        )
+        if contended:
+            net = self.route_step(pr)
+            pr = pr._replace(inter=net.eff_inter)
+        return pr
+
+    def route_step(
+        self, pr: BatchLegTimes, hierarchical: bool = False, keys=None
+    ) -> StepNetwork:
+        """Schedule one priced batch's network legs on shared resources.
+
+        The step gets its own relative timeline.  Each message first
+        clears its device's up leg (extraction + D2H, FIFO per device —
+        jointly with a host serialization core when contended), then its
+        network leg runs: per message, or per :class:`HostAggregate` when
+        ``hierarchical`` (one wire message per (src host, dst host[,
+        key]); the aggregate departs when its last member's up leg
+        finishes).  With contention, network legs queue FIFO on the
+        sender host's NIC (cross-host) or staging path (host-routed
+        same-host); without, they start as soon as ready — which makes
+        the uncontended, non-hierarchical schedule reproduce
+        ``pr.inter`` bit-for-bit.
+
+        ``eff_inter[i]`` replaces ``pr.inter[i]`` in the engines' round
+        assembly; everything the flat model charges per device (send/recv
+        sums) is unchanged.
+        """
+        n = len(pr.src)
+        if n == 0:
+            return StepNetwork(np.empty(0), 0, 0, 0, 0.0)
+        c = self.cluster
+        model = self.contention
+        host_of = np.asarray(c.host_of, dtype=np.int64)
+        hsrc = host_of[pr.src]
+        hdst = host_of[pr.dst]
+        loop = pr.src == pr.dst
+        cross = (hsrc != hdst) & ~loop
+        up_service = pr.extraction + pr.d2h
+
+        # ---- up stage: when each message clears its device's D2H lane --- #
+        up_done = np.empty(n)
+        if model is None:
+            for g in np.unique(pr.src):
+                idx = np.flatnonzero(pr.src == g)
+                up_done[idx] = np.cumsum(up_service[idx])
+        else:
+            model.reset_clocks()
+            for i in range(n):
+                svc = float(up_service[i])
+                lane = ("pcie_up", int(pr.src[i]))
+                if c.gpudirect:
+                    # device-direct posting: no host core involved
+                    start = model.acquire(lane, 0.0, svc)
+                else:
+                    start = model.acquire_joint(
+                        [lane, ("cores", int(hsrc[i]))], 0.0, svc
+                    )
+                up_done[i] = start + svc
+
+        # ---- network entities ------------------------------------------ #
+        # (resource key | None, ready, service, member indices); order by
+        # (ready, first member) for deterministic FIFO arrival at queues
+        entities: list[tuple] = []
+        aggregates: list[HostAggregate] = []
+        agg_members = 0
+        if hierarchical:
+            aggregates = group_cross_host(
+                hsrc, hdst, cross, pr.scaled_bytes, self.volume_scale, keys
+            )
+            for agg in aggregates:
+                agg_members += len(agg.members)
+                service = c.network.time(agg.wire_bytes)
+                key = ("nic", agg.src_host) if model is not None else None
+                entities.append(
+                    (key, float(up_done[agg.members].max()), service, agg.members)
+                )
+        for i in np.flatnonzero(~loop):
+            i = int(i)
+            if hierarchical and cross[i]:
+                continue  # carried by its aggregate
+            if cross[i]:
+                key = ("nic", int(hsrc[i])) if model is not None else None
+            elif model is not None and not c.gpudirect:
+                key = ("staging", int(hsrc[i]))
+            else:
+                key = None  # GPUDirect P2P crossbars don't queue host-side
+            entities.append(
+                (key, float(up_done[i]), float(pr.inter[i]),
+                 np.array([i], dtype=np.int64))
+            )
+        entities.sort(key=lambda e: (e[1], int(e[3][0])))
+
+        eff = np.zeros(n)
+        for key, ready, service, members in entities:
+            if key is None and len(members) == 1:
+                # unqueued singleton: starts the moment its up leg clears,
+                # so the effective span is exactly the flat leg time (and
+                # bitwise so — no (a + b) - a round trip)
+                eff[members] = service
+                continue
+            start = model.acquire(key, ready, service) if key is not None else ready
+            eff[members] = (start + service) - up_done[members]
+
+        cross_count = int(np.count_nonzero(cross))
+        n_aggs = len(aggregates)
+        return StepNetwork(
+            eff_inter=eff,
+            inter_host_messages=n_aggs if hierarchical else cross_count,
+            messages_saved=agg_members - n_aggs,
+            aggregates=n_aggs,
+            saved_bytes=float(sum(a.saved_bytes for a in aggregates)),
         )
 
     def price_batch_scalar(self, messages: list[Message]) -> BatchLegTimes:

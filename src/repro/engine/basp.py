@@ -23,6 +23,7 @@ import heapq
 import numpy as np
 
 from repro.comm.gluon import CommConfig, GluonComm
+from repro.comm.hier import group_cross_host
 from repro.engine.costmodel import CostModel
 from repro.engine.operator import RunContext, VertexProgram
 from repro.engine.result import RunResult
@@ -55,6 +56,7 @@ class BASPEngine:
         check_memory: bool = True,
         throttle_wait: float = 0.0,
         poll_interval: float = 1e-3,
+        overlap_comm: float = 0.0,
         fault_plan=None,
         executor: str = "serial",
         tracer=None,
@@ -74,7 +76,14 @@ class BASPEngine:
         shared clock because ``poll_interval > 0``), so running them on a
         thread pool and applying the shared effects (sequence numbers,
         inbox pushes, statistics) in partition order replays the serial
-        event order exactly — runs stay bit-identical to serial."""
+        event order exactly — runs stay bit-identical to serial.
+
+        ``overlap_comm`` in [0, 1] mirrors BSP's async-copy hiding for
+        local rounds: within one local round, the drained H2D legs and the
+        outgoing extraction+D2H legs share a single hiding budget equal to
+        that round's compute time (recv hides first — it precedes the
+        sends on the local clock — then sends split the remainder).  The
+        default 0 leaves the event schedule bit-identical to before."""
         if not app.async_capable:
             raise ConfigurationError(
                 f"{app.name} cannot run bulk-asynchronously"
@@ -103,12 +112,84 @@ class BASPEngine:
         #: arriving within roughly one round's pacing into its next round,
         #: rather than waking per message.
         self.poll_interval = float(poll_interval)
+        if not 0.0 <= overlap_comm <= 1.0:
+            raise ConfigurationError("overlap_comm must be within [0, 1]")
+        self.overlap_comm = float(overlap_comm)
         self.fault_plan = fault_plan
         if executor not in ("serial", "threads"):
             raise ConfigurationError(
                 f"executor must be 'serial' or 'threads', got {executor!r}"
             )
         self.executor = executor
+
+    # ------------------------------------------------------------------ #
+    def _network_arrivals(self, departs, pr, out_msgs):
+        """Schedule one send batch's network legs on the absolute clock.
+
+        Used only when contention and/or hierarchical sync is on.  Returns
+        ``(arrivals, wire messages, inter-host wire messages, aggregates,
+        wire bytes)``.  Resource queues persist across the whole run —
+        BASP's event clock is absolute, so a NIC busy with an earlier
+        flush delays this one.  Hierarchical aggregates group by
+        (src host, dst host, field, phase): one async flush can mix
+        fields and phases, unlike a BSP sync step.
+        """
+        router = self.cost.router
+        c = router.cluster
+        model = router.contention
+        hier = self.comm.config.hierarchical
+        host_of = np.asarray(c.host_of, dtype=np.int64)
+        hsrc = host_of[pr.src]
+        hdst = host_of[pr.dst]
+        loop = pr.src == pr.dst
+        cross = (hsrc != hdst) & ~loop
+        n = len(out_msgs)
+        arrivals = np.empty(n)
+        entities: list[tuple] = []
+        aggregates = []
+        agg_members = 0
+        if hier:
+            keys = [(m.header.field, m.header.phase) for m in out_msgs]
+            aggregates = group_cross_host(
+                hsrc, hdst, cross, pr.scaled_bytes, router.volume_scale, keys
+            )
+            for agg in aggregates:
+                agg_members += len(agg.members)
+                service = c.network.time(agg.wire_bytes)
+                key = ("nic", agg.src_host) if model is not None else None
+                entities.append(
+                    (key, float(departs[agg.members].max()), service,
+                     agg.members)
+                )
+        for i in np.flatnonzero(~loop):
+            i = int(i)
+            if hier and cross[i]:
+                continue  # carried by its aggregate
+            if cross[i]:
+                key = ("nic", int(hsrc[i])) if model is not None else None
+            elif model is not None and not c.gpudirect:
+                key = ("staging", int(hsrc[i]))
+            else:
+                key = None  # GPUDirect P2P does not queue host-side
+            entities.append(
+                (key, float(departs[i]), float(pr.inter[i]),
+                 np.array([i], dtype=np.int64))
+            )
+        entities.sort(key=lambda e: (e[1], int(e[3][0])))
+        for key, ready, service, members in entities:
+            start = (
+                model.acquire(key, ready, service) if key is not None else ready
+            )
+            arrivals[members] = start + service
+        if loop.any():
+            arrivals[loop] = departs[loop]
+        n_aggs = len(aggregates)
+        wire_n = n - (agg_members - n_aggs)
+        inter_n = n_aggs if hier else int(np.count_nonzero(cross))
+        wire_bytes = float(pr.scaled_bytes.sum()) - float(
+            sum(a.saved_bytes for a in aggregates)
+        )
+        return arrivals, wire_n, inter_n, n_aggs, wire_bytes
 
     # ------------------------------------------------------------------ #
     def run(self, ctx: RunContext) -> RunResult:
@@ -153,6 +234,12 @@ class BASPEngine:
         plan = app.sync_plan()
         activating = app.activating_fields()
         topology = app.driven == "topology"
+
+        # host-aware communication: hierarchical aggregation and/or shared
+        # resource queues reroute arrivals through ``_network_arrivals``
+        hier = comm.config.hierarchical
+        netmode = hier or cost.contention is not None
+        host_of_arr = np.asarray(self.cluster.host_of, dtype=np.int64)
 
         check_cheap = bool(self.check_level)
         check_full = self.check_level >= 2  # CheckLevel.FULL
@@ -199,11 +286,16 @@ class BASPEngine:
         # events), no throttle (it slides the drain horizon past peers'
         # arrivals), and a positive poll interval (it guarantees messages
         # emitted at the batch time arrive strictly later).
+        # (contended/hierarchical runs and overlap hiding stay serial:
+        # resource queues and the hiding budget are shared state that must
+        # be acquired in global event order)
         use_threads = (
             self.executor == "threads"
             and self.fault_plan is None
             and self.throttle_wait == 0.0
             and self.poll_interval > 0.0
+            and not netmode
+            and self.overlap_comm == 0.0
         )
 
         def independent_round(p: int):
@@ -346,6 +438,11 @@ class BASPEngine:
                                 pr.scaled_bytes.sum()
                             )
                             stats.num_messages += len(out_msgs)
+                            stats.inter_host_messages += int(
+                                np.count_nonzero(
+                                    host_of_arr[pr.src] != host_of_arr[pr.dst]
+                                )
+                            )
                             for i, msg in enumerate(out_msgs):
                                 heapq.heappush(
                                     inbox[msg.header.dst],
@@ -388,12 +485,15 @@ class BASPEngine:
 
             # -------- drain arrived messages ---------------------------- #
             drained_candidates = []
+            round_h2d = 0.0  # drained recv legs, candidate for overlap hiding
+            round_compute = 0.0  # this round's hiding budget
             while inbox[p] and inbox[p][0][0] <= t:
                 _, _, msg = heapq.heappop(inbox[p])
                 in_flight -= 1
                 legs = cost.legs(msg)
                 t += legs.h2d
                 device_t[p] += legs.h2d
+                round_h2d += legs.h2d
                 labels = views[msg.header.field]
                 if msg.header.phase == "reduce":
                     ch = comm.apply_reduce(msg, labels)
@@ -444,6 +544,7 @@ class BASPEngine:
                 dt = cost.compute_time(p, out.frontier_degrees)
                 t += dt
                 compute_t[p] += dt
+                round_compute += dt
                 stats.work_items += out.edges_processed
                 did_work = True
 
@@ -462,6 +563,7 @@ class BASPEngine:
                         dt = cost.master_time(p, touched)
                         t += dt
                         compute_t[p] += dt
+                        round_compute += dt
                         did_work = True
                     residual[p] = mout.residual
                     continue
@@ -483,6 +585,15 @@ class BASPEngine:
                 else:
                     out_msgs += comm.make_broadcast_messages(step.field, p, labels)
 
+            hidden = 0.0
+            if self.overlap_comm > 0.0 and round_compute > 0.0:
+                # async-copy hiding, one budget per local round: drained
+                # H2D first (it preceded the compute on this clock), then
+                # sends take the remainder below
+                hidden = min(self.overlap_comm * round_h2d, round_compute)
+                t -= hidden
+                device_t[p] -= hidden
+
             if out_msgs:
                 # price the batch in one vectorized pass; each message still
                 # departs after the previous one finished its extraction and
@@ -493,12 +604,33 @@ class BASPEngine:
                 else:
                     pr = cost.price_batch(out_msgs)
                 send_cost = pr.extraction + pr.d2h
+                if self.overlap_comm > 0.0:
+                    total = float(send_cost.sum())
+                    hidden_s = min(
+                        self.overlap_comm * total, round_compute - hidden
+                    )
+                    if total > 0.0 and hidden_s > 0.0:
+                        send_cost = send_cost * ((total - hidden_s) / total)
                 departs = t + np.cumsum(send_cost)
-                arrivals = departs + pr.inter
                 t = float(departs[-1])
                 device_t[p] += float(send_cost.sum())
-                stats.comm_volume_bytes += float(pr.scaled_bytes.sum())
-                stats.num_messages += len(out_msgs)
+                if netmode:
+                    arrivals, wire_n, inter_n, aggs, wire_bytes = (
+                        self._network_arrivals(departs, pr, out_msgs)
+                    )
+                    stats.hier_aggregates += aggs
+                else:
+                    arrivals = departs + pr.inter
+                    wire_n = len(out_msgs)
+                    inter_n = int(
+                        np.count_nonzero(
+                            host_of_arr[pr.src] != host_of_arr[pr.dst]
+                        )
+                    )
+                    wire_bytes = float(pr.scaled_bytes.sum())
+                stats.comm_volume_bytes += wire_bytes
+                stats.num_messages += wire_n
+                stats.inter_host_messages += inter_n
                 for i, msg in enumerate(out_msgs):
                     heapq.heappush(
                         inbox[msg.header.dst], (float(arrivals[i]), seq, msg)
@@ -573,9 +705,16 @@ class BASPEngine:
                     "device_comm": stats.device_comm,
                     "rounds": stats.rounds,
                     "num_messages": stats.num_messages,
+                    "inter_host_messages": stats.inter_host_messages,
                     "comm_volume_bytes": stats.comm_volume_bytes,
                 },
             )
+            if cost.contention is not None:
+                for key, rst in sorted(cost.contention.stats.items()):
+                    base = f"contention.{key[0]}.{key[1]}"
+                    tracer.count(f"{base}.busy_s", rst.busy_s)
+                    tracer.count(f"{base}.queue_s", rst.queue_s)
+                    tracer.count(f"{base}.messages", rst.messages)
             tracer.end(run_ev, rounds=stats.rounds)
         labels = pg.gather_master_labels(
             [state[p][app.output_field] for p in range(P)]

@@ -137,6 +137,13 @@ class BSPEngine:
         plan = app.sync_plan()
         activating = app.activating_fields()
 
+        # host-aware communication: two-level sync and/or shared-resource
+        # queues reroute the network legs through ``route_step``; with
+        # both off the flat per-message pricing is used untouched
+        hier = comm.config.hierarchical
+        netmode = hier or cost.contention is not None
+        host_of_arr = np.asarray(self.cluster.host_of, dtype=np.int64)
+
         # invariant checking: two precomputed booleans keep the per-round
         # cost at OFF to exactly these falsy tests
         check_cheap = bool(self.check_level)
@@ -244,6 +251,8 @@ class BSPEngine:
             send_t = np.zeros(P)  # extraction + D2H, serialized per device
             recv_t = np.zeros(P)  # H2D, serialized per device
             n_msgs = 0
+            n_inter_host = 0
+            n_aggregates = 0
             comm_bytes = 0.0
             residual = 0.0
 
@@ -306,11 +315,35 @@ class BSPEngine:
                     pr = cost.price_batch(msgs)
                 np.add.at(send_t, pr.src, pr.extraction + pr.d2h)
                 np.add.at(recv_t, pr.dst, pr.h2d)
-                np.add.at(inter_m, (pr.src, pr.dst), pr.inter)
+                if netmode:
+                    # a BSP sync step is single-field single-phase, so
+                    # aggregates key on (src host, dst host) alone
+                    net = cost.route_step(pr, hierarchical=hier)
+                    np.add.at(inter_m, (pr.src, pr.dst), net.eff_inter)
+                    step_bytes = float(pr.scaled_bytes.sum()) - net.saved_bytes
+                    step_wire = len(msgs) - net.messages_saved
+                    n_inter_host += net.inter_host_messages
+                    n_aggregates += net.aggregates
+                    if tracer is not None and net.aggregates:
+                        tracer.count(
+                            f"comm.hier.{field}.aggregates", net.aggregates
+                        )
+                        tracer.count(
+                            f"comm.hier.{field}.messages_saved",
+                            net.messages_saved,
+                        )
+                else:
+                    np.add.at(inter_m, (pr.src, pr.dst), pr.inter)
+                    step_bytes = float(pr.scaled_bytes.sum())
+                    step_wire = len(msgs)
+                    n_inter_host += int(
+                        np.count_nonzero(
+                            host_of_arr[pr.src] != host_of_arr[pr.dst]
+                        )
+                    )
                 has_msg[pr.src, pr.dst] = True
-                step_bytes = float(pr.scaled_bytes.sum())
                 comm_bytes += step_bytes
-                n_msgs += len(msgs)
+                n_msgs += step_wire
                 for msg in msgs:
                     if step.kind == "reduce":
                         ch = comm.apply_reduce(msg, labels)
@@ -323,10 +356,17 @@ class BSPEngine:
 
             # ---------------- round timing ------------------------------ #
             # with overlap, part of the host-device traffic hides under the
-            # compute phase (bounded by the compute time available)
+            # compute phase.  Send and recv share ONE hiding budget (the
+            # compute time available): PCIe is full duplex, but both
+            # directions hide under the same kernels, so the total hidden
+            # traffic per device is bounded by compute_t, not 2x compute_t.
+            # Send-side D2H hides first (it is what double buffering
+            # overlaps in practice); recv-side H2D takes the remainder.
             if self.overlap_comm > 0.0:
                 hidden_s = np.minimum(self.overlap_comm * send_t, compute_t)
-                hidden_r = np.minimum(self.overlap_comm * recv_t, compute_t)
+                hidden_r = np.minimum(
+                    self.overlap_comm * recv_t, compute_t - hidden_s
+                )
                 eff_send = send_t - hidden_s
                 eff_recv = recv_t - hidden_r
             else:
@@ -351,6 +391,8 @@ class BSPEngine:
                 wait_times=wait,
                 device_comm_times=device_t,
                 duration=duration,
+                inter_host_messages=n_inter_host,
+                hier_aggregates=n_aggregates,
             )
             stats.accumulate_round(rec)
             if check_cheap:
@@ -433,9 +475,17 @@ class BSPEngine:
                     "device_comm": stats.device_comm,
                     "rounds": stats.rounds,
                     "num_messages": stats.num_messages,
+                    "inter_host_messages": stats.inter_host_messages,
                     "comm_volume_bytes": stats.comm_volume_bytes,
                 },
             )
+            if cost.contention is not None:
+                # per-resource busy/queue spans for `repro-trace summarize`
+                for key, rst in sorted(cost.contention.stats.items()):
+                    base = f"contention.{key[0]}.{key[1]}"
+                    tracer.count(f"{base}.busy_s", rst.busy_s)
+                    tracer.count(f"{base}.queue_s", rst.queue_s)
+                    tracer.count(f"{base}.messages", rst.messages)
             tracer.end(run_ev, rounds=stats.rounds)
         labels = pg.gather_master_labels(
             [state[p][app.output_field] for p in range(P)]

@@ -94,6 +94,15 @@ class CostModel:
         """Per-message reference pricing (pre-vectorization code path)."""
         return self.router.price_batch_scalar(msgs)
 
+    @property
+    def contention(self):
+        """The router's shared-resource model (``None`` when flat)."""
+        return self.router.contention
+
+    def route_step(self, pr, hierarchical: bool = False, keys=None):
+        """Schedule a priced batch's network legs (queues, aggregation)."""
+        return self.router.route_step(pr, hierarchical=hierarchical, keys=keys)
+
     def allreduce_time(self) -> float:
         """Per-round global termination check across hosts."""
         h = self.cluster.num_hosts

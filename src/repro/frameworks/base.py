@@ -55,14 +55,39 @@ class Framework(ABC):
 
     # ------------------------------------------------------------------ #
     def make_cluster(self, num_gpus: int, platform: str | Cluster) -> Cluster:
+        """Resolve a platform name (or pass a :class:`Cluster` through).
+
+        A ``:contended`` suffix (e.g. ``"bridges:contended"``) attaches
+        the default shared-resource :class:`~repro.hw.contention.\
+        ContentionConfig`, so string-based cell specs and sweep drivers
+        can opt into contention pricing without constructing clusters.
+        """
+        contended = False
+        if isinstance(platform, str) and ":" in platform:
+            base_name, _, flag = platform.partition(":")
+            if flag != "contended":
+                raise UnsupportedFeatureError(
+                    f"unknown platform flag {flag!r} in {platform!r}"
+                )
+            platform, contended = base_name, True
         if isinstance(platform, Cluster):
             cluster = platform
         elif platform == "bridges":
             cluster = bridges(num_gpus)
         elif platform == "tuxedo":
             cluster = tuxedo(num_gpus)
+        elif platform == "dgx2":
+            from repro.hw.cluster import dgx2
+
+            cluster = dgx2(num_gpus)
         else:
             raise UnsupportedFeatureError(f"unknown platform {platform!r}")
+        if contended:
+            from dataclasses import replace
+
+            from repro.hw.contention import ContentionConfig
+
+            cluster = replace(cluster, contention=ContentionConfig())
         if not self.multi_host and cluster.num_hosts > 1:
             raise UnsupportedFeatureError(
                 f"{self.name} supports only single-host multi-GPU platforms"

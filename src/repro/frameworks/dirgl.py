@@ -38,11 +38,17 @@ class DIrGL(Framework):
         balancer: str = "alb",
         update_only: bool = True,
         execution: str = "async",
+        hierarchical: bool = False,
     ):
+        """``hierarchical`` opts into two-level (intra-host -> network)
+        sync (see :mod:`repro.comm.hier`) — labels are unchanged, only
+        the network-leg pricing and wire message counts move."""
         super().__init__(policy)
         self.load_balancer = balancer
         self.comm_config = CommConfig(
-            update_only=update_only, memoize_addresses=True
+            update_only=update_only,
+            memoize_addresses=True,
+            hierarchical=hierarchical,
         )
         self.execution = execution
 
@@ -71,4 +77,7 @@ class DIrGL(Framework):
         lb = self.load_balancer.upper()
         comm = "UO" if self.comm_config.update_only else "AS"
         model = "Async" if self.execution == "async" else "Sync"
-        return f"{lb}+{comm}+{model}"
+        label = f"{lb}+{comm}+{model}"
+        if self.comm_config.hierarchical:
+            label += "+Hier"
+        return label

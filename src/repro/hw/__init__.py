@@ -1,5 +1,6 @@
 """Simulated hardware: GPUs, hosts, interconnects, and cluster topologies."""
 
+from repro.hw.contention import ContentionConfig, ContentionModel, ResourceStats
 from repro.hw.gpu import GPUSpec, GTX1080, K80, P100, V100
 from repro.hw.host import HostSpec, BRIDGES_HOST, TUXEDO_HOST
 from repro.hw.interconnect import InterconnectSpec, NVSWITCH, PCIE3_X16, OMNIPATH, PINNED_P2P
@@ -7,6 +8,9 @@ from repro.hw.cluster import Cluster, bridges, dgx2, tuxedo, uniform_cluster
 from repro.hw.memory import MemoryModel, MemoryUsage
 
 __all__ = [
+    "ContentionConfig",
+    "ContentionModel",
+    "ResourceStats",
     "GPUSpec",
     "P100",
     "K80",

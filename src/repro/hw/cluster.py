@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.hw.contention import ContentionConfig
 from repro.hw.gpu import GPUSpec, GTX1080, K80, P100
 from repro.hw.host import BRIDGES_HOST, HostSpec, TUXEDO_HOST
 from repro.hw.interconnect import InterconnectSpec, OMNIPATH, PCIE3_X16, PINNED_P2P
@@ -55,6 +56,11 @@ class Cluster:
     #: store-and-forward legs and no host serialization.  The paper's
     #: first recommended improvement (Sections V-C and VII).
     gpudirect: bool = False
+    #: Opt-in shared-resource contention (see :mod:`repro.hw.contention`):
+    #: same-host messages queue on shared NIC ports / staging paths instead
+    #: of each enjoying a private link.  ``None`` (and ``enabled=False``)
+    #: keep the flat, bit-identical default pricing.
+    contention: ContentionConfig | None = None
 
     def __post_init__(self):
         if len(self.gpus) != len(self.host_of):
@@ -82,11 +88,17 @@ class Cluster:
         return min(g.mem_capacity_bytes for g in self.gpus)
 
 
-def bridges(num_gpus: int, gpudirect: bool = False) -> Cluster:
+def bridges(
+    num_gpus: int,
+    gpudirect: bool = False,
+    contention: ContentionConfig | None = None,
+) -> Cluster:
     """The Bridges platform: ``num_gpus`` P100s, 2 per host, Omni-Path.
 
     The paper uses 1-64 GPUs on up to 32 machines.  ``gpudirect=True``
-    models the paper's proposed improvement of device-direct transfers.
+    models the paper's proposed improvement of device-direct transfers;
+    ``contention`` makes each host's two GPUs share its single Omni-Path
+    port (see :mod:`repro.hw.contention`).
     """
     if not 1 <= num_gpus <= 64:
         raise ConfigurationError("bridges supports 1..64 GPUs")
@@ -98,6 +110,7 @@ def bridges(num_gpus: int, gpudirect: bool = False) -> Cluster:
         host_of=host_of,
         hosts=tuple([BRIDGES_HOST] * num_hosts),
         gpudirect=gpudirect,
+        contention=contention,
     )
 
 
@@ -124,11 +137,14 @@ def dgx2(num_gpus: int = 16) -> Cluster:
     )
 
 
-def tuxedo(num_gpus: int = 6) -> Cluster:
+def tuxedo(
+    num_gpus: int = 6, contention: ContentionConfig | None = None
+) -> Cluster:
     """The Tuxedo single-host platform: 4x K80 then 2x GTX 1080.
 
     Requesting fewer than 6 GPUs takes them in that order, matching how the
-    study scales 1 -> 2 -> 4 -> 6.
+    study scales 1 -> 2 -> 4 -> 6.  ``contention`` makes all six devices
+    share the host's single pinned-staging PCIe tree.
     """
     if not 1 <= num_gpus <= 6:
         raise ConfigurationError("tuxedo has 6 GPUs")
@@ -138,6 +154,7 @@ def tuxedo(num_gpus: int = 6) -> Cluster:
         gpus=tuple(devices),
         host_of=tuple([0] * num_gpus),
         hosts=(TUXEDO_HOST,),
+        contention=contention,
     )
 
 

@@ -31,7 +31,7 @@ import json
 import os
 import time
 import zlib
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -43,7 +43,7 @@ from repro.engine.operator import RunContext
 from repro.errors import ConfigurationError
 from repro.generators import rmat
 from repro.graph.transform import add_random_weights, make_undirected
-from repro.hw import bridges
+from repro.hw import ContentionConfig, bridges
 from repro.partition import partition
 
 __all__ = [
@@ -65,6 +65,13 @@ __all__ = [
     "trace_overhead_tolerance",
     "measure_check_overhead",
     "check_overhead_tolerance",
+    "CONTENTION_OVERHEAD_MAX",
+    "measure_contention_overhead",
+    "contention_overhead_tolerance",
+    "HIER_AGG_MIN",
+    "HIER_CELL",
+    "HIER_PARTS",
+    "measure_hier_aggregation",
     "sweep_specs",
     "run_sweep",
     "measure_sweep_speedup",
@@ -120,6 +127,24 @@ CHECK_OVERHEAD_MAX = 1.02
 #: Timing repetitions per leg in :func:`measure_check_overhead`.
 CHECK_OVERHEAD_REPS = 5
 
+#: Maximum ``ContentionConfig(enabled=False)`` / no-contention wall-clock
+#: ratio the contention overhead gate enforces (< 2% overhead with
+#: contention pricing off); override with the
+#: ``REPRO_CONTENTION_OVERHEAD_TOL`` environment variable.
+CONTENTION_OVERHEAD_MAX = 1.02
+
+#: Timing repetitions per leg in :func:`measure_contention_overhead`.
+CONTENTION_OVERHEAD_REPS = 5
+
+#: Minimum flat / hierarchical inter-host message ratio the two-level
+#: sync gate enforces (ISSUE acceptance: >= 1.5x fewer inter-host
+#: messages on the pr/cvc cell at bridges-32 scale).
+HIER_AGG_MIN = 1.5
+
+#: The cell and scale the hierarchical-aggregation gate runs on.
+HIER_CELL = ("pr", "cvc", "bsp", "uo")
+HIER_PARTS = 32
+
 #: Relative tolerance for simulated (machine-independent) float metrics.
 SIM_RTOL = 1e-6
 
@@ -140,6 +165,10 @@ class CellResult:
     comm_bytes: float
     work_items: float
     labels_crc: int  # CRC32 of the output label bytes
+    #: cross-host wire messages (aggregates count as one under two-level
+    #: sync); informational — not part of the baseline comparison, so
+    #: baselines written before the field existed still load.
+    inter_host_messages: int = 0
 
     def deterministic_fields(self) -> dict:
         return {
@@ -231,18 +260,31 @@ def run_cell(
     use_scalar_extraction: bool = False,
     tracer=None,
     check=None,
+    contention=None,
+    hierarchical: bool = False,
 ) -> CellResult:
-    """Run one cell and collect its measurements."""
+    """Run one cell and collect its measurements.
+
+    ``contention`` (a :class:`~repro.hw.contention.ContentionConfig`)
+    attaches shared-resource pricing to the workload's cluster for this
+    cell only; ``hierarchical`` opts the cell into two-level sync.
+    """
     if engine not in _ENGINES:
         raise ConfigurationError(f"unknown engine {engine!r}")
     if comm not in _COMM_CONFIGS:
         raise ConfigurationError(f"unknown comm variant {comm!r}")
     app, pg, ctx = workload.inputs_for(app_name, policy)
+    cluster = workload.cluster
+    if contention is not None:
+        cluster = replace(cluster, contention=contention)
+    comm_config = _COMM_CONFIGS[comm]
+    if hierarchical:
+        comm_config = replace(comm_config, hierarchical=True)
     eng = _ENGINES[engine](
         pg,
-        workload.cluster,
+        cluster,
         app,
-        comm_config=_COMM_CONFIGS[comm],
+        comm_config=comm_config,
         check_memory=False,
         tracer=tracer,
         check=check,
@@ -261,6 +303,7 @@ def run_cell(
         comm_bytes=float(s.comm_volume_bytes),
         work_items=float(s.work_items),
         labels_crc=int(zlib.crc32(np.ascontiguousarray(res.labels).tobytes())),
+        inter_host_messages=int(s.inter_host_messages),
     )
 
 
@@ -432,6 +475,101 @@ def measure_check_overhead(reps: int = CHECK_OVERHEAD_REPS) -> dict:
         "no_check_wall_seconds": unset,
         "check_off_wall_seconds": off,
         "overhead_ratio": off / max(unset, 1e-12),
+    }
+
+
+def contention_overhead_tolerance() -> float:
+    return float(
+        os.environ.get("REPRO_CONTENTION_OVERHEAD_TOL", CONTENTION_OVERHEAD_MAX)
+    )
+
+
+def measure_contention_overhead(reps: int = CONTENTION_OVERHEAD_REPS) -> dict:
+    """Wall-clock of the matrix with no contention config vs a *disabled*
+    one.
+
+    This is the zero-overhead-when-off gate for :mod:`repro.hw.contention`:
+    a cluster carrying ``ContentionConfig(enabled=False)`` must cost no
+    more than one that never heard of contention pricing (the router
+    normalizes a disabled config to ``None``, exactly like the engines
+    normalize a disabled tracer).  Methodology is identical to
+    :func:`measure_trace_overhead` — per-cell back-to-back legs,
+    best-of-``reps``, deterministic metrics forced to agree exactly: a
+    disabled contention model may not change a single priced second.
+    """
+    workload = _Workload(MATRIX_GRAPH)
+    keys = [
+        (a, p, e, c)
+        for a in MATRIX_APPS
+        for p in MATRIX_POLICIES
+        for e in MATRIX_ENGINES
+        for c in MATRIX_COMMS
+    ]
+
+    # warm-up: partitions, memoized sync plans, allocator steady state
+    reference = {}
+    for a, p, e, c in keys:
+        cell = run_cell(workload, a, p, e, c)
+        reference[cell.key] = cell.deterministic_fields()
+    plain_best: dict[str, float] = {}
+    off_best: dict[str, float] = {}
+    for _ in range(max(1, int(reps))):
+        for a, p, e, c in keys:
+            for contention, best in (
+                (None, plain_best),
+                (ContentionConfig(enabled=False), off_best),
+            ):
+                cell = run_cell(workload, a, p, e, c, contention=contention)
+                if cell.deterministic_fields() != reference[cell.key]:
+                    raise ConfigurationError(
+                        "disabled contention config changed deterministic "
+                        f"results on {cell.key}: "
+                        f"{cell.deterministic_fields()} vs "
+                        f"{reference[cell.key]}"
+                    )
+                best[cell.key] = min(
+                    cell.wall_seconds, best.get(cell.key, cell.wall_seconds)
+                )
+    plain, off = sum(plain_best.values()), sum(off_best.values())
+    return {
+        "cells": len(keys),
+        "no_contention_wall_seconds": plain,
+        "contention_off_wall_seconds": off,
+        "overhead_ratio": off / max(plain, 1e-12),
+    }
+
+
+def measure_hier_aggregation() -> dict:
+    """Flat vs two-level sync on the hier gate cell — deterministic.
+
+    Runs the :data:`HIER_CELL` workload at :data:`HIER_PARTS` partitions
+    (bridges-32: 16 hosts, so cross-host traffic dominates) once with
+    flat per-pair sync and once with ``hierarchical=True``.  Two-level
+    sync must leave labels, rounds, and work bit-identical (it only
+    re-prices the network leg and coalesces wire messages) while cutting
+    cross-host wire messages by at least :data:`HIER_AGG_MIN`.  All
+    compared quantities are simulated and machine-independent, so this
+    gate runs in CI without slack.
+    """
+    workload = _Workload(MATRIX_GRAPH, parts=HIER_PARTS)
+    app, policy, engine, comm = HIER_CELL
+    flat = run_cell(workload, app, policy, engine, comm)
+    hier = run_cell(workload, app, policy, engine, comm, hierarchical=True)
+    for name in ("labels_crc", "rounds", "work_items"):
+        f, h = getattr(flat, name), getattr(hier, name)
+        if f != h:
+            raise ConfigurationError(
+                f"two-level sync changed {name} on {flat.key}: {f} vs {h}"
+            )
+    ratio = flat.inter_host_messages / max(hier.inter_host_messages, 1)
+    return {
+        "cell": flat.key,
+        "parts": HIER_PARTS,
+        "flat_inter_host_messages": int(flat.inter_host_messages),
+        "hier_inter_host_messages": int(hier.inter_host_messages),
+        "ratio": float(ratio),
+        "flat_sim_seconds": float(flat.sim_seconds),
+        "hier_sim_seconds": float(hier.sim_seconds),
     }
 
 

@@ -38,6 +38,8 @@ class RoundRecord:
     wait_times: np.ndarray
     device_comm_times: np.ndarray
     duration: float  # wall-clock of the round (barrier to barrier)
+    inter_host_messages: int = 0  # wire messages crossing hosts
+    hier_aggregates: int = 0  # two-level sync envelopes formed
 
 
 @dataclass
@@ -56,6 +58,11 @@ class RunStats:
     device_comm: float = 0.0
     comm_volume_bytes: float = 0.0
     num_messages: int = 0
+    #: wire messages that crossed hosts — the communication-partner load
+    #: the CVC analysis bounds; under two-level sync these are aggregates
+    inter_host_messages: int = 0
+    #: two-level sync envelopes formed (0 when hierarchical sync is off)
+    hier_aggregates: int = 0
     rounds: int = 0
     local_rounds_min: int = 0  # BASP: min local rounds across partitions
     local_rounds_max: int = 0
@@ -107,6 +114,8 @@ class RunStats:
         self.per_partition_device_comm += rec.device_comm_times
         self.rounds += 1
         self.num_messages += rec.messages
+        self.inter_host_messages += rec.inter_host_messages
+        self.hier_aggregates += rec.hier_aggregates
         self.comm_volume_bytes += rec.comm_bytes
         self.work_items += rec.edges_processed
         self.execution_time += rec.duration
