@@ -14,6 +14,8 @@ from repro.apps.common import expand_frontier, scatter_min
 from repro.comm.gluon import FieldSpec
 from repro.constants import INF
 from repro.engine.operator import RoundOutput, RunContext, SyncStep, VertexProgram
+from repro.la import backend as la_backend
+from repro.la import direction, semiring, spmv
 from repro.partition.base import LocalPartition
 
 __all__ = ["BFS", "DirectionOptBFS"]
@@ -28,6 +30,7 @@ class BFS(VertexProgram):
     style = "push"
     driven = "data"
     output_field = "dist"
+    la_capable = True
 
     def fields(self):
         return [
@@ -57,13 +60,22 @@ class BFS(VertexProgram):
     def compute(self, part, ctx, state, frontier) -> RoundOutput:
         dist = state["dist"]
         degrees = self.frontier_degrees(part, frontier)
-        rep, dsts, _ = expand_frontier(part.graph, frontier)
-        cand = dist[frontier[rep]].astype(np.int64) + 1
-        changed = scatter_min(dist, dsts, cand.astype(np.uint32))
+        if self.kernel == "la":
+            # min-plus SpMSpV with the implicit unit weight: the semiring's
+            # combine reproduces the loop's int64-widen / uint32-narrow casts
+            changed, edges = spmv.spmsv_push(
+                part.graph, frontier, dist, dist,
+                semiring.MIN_PLUS, self.la_backend,
+            )
+        else:
+            rep, dsts, _ = expand_frontier(part.graph, frontier)
+            cand = dist[frontier[rep]].astype(np.int64) + 1
+            changed = scatter_min(dist, dsts, cand.astype(np.uint32))
+            edges = len(dsts)
         return RoundOutput(
             updated={"dist": changed},
             activated=changed,
-            edges_processed=len(dsts),
+            edges_processed=edges,
             frontier_degrees=degrees,
         )
 
@@ -98,47 +110,33 @@ class DirectionOptBFS(BFS):
         dist = state["dist"]
         out_deg = part.graph.out_degrees()
         frontier_edges = int(out_deg[frontier].sum())
-        if frontier_edges * self.alpha <= part.graph.num_edges:
+        selector = direction.DirectionSelector(self.alpha)
+        if not selector.use_pull(part.graph, frontier_edges):
             return super().compute(part, ctx, state, frontier)
 
         # ---- pull round: unvisited scan their in-edges ------------------ #
-        # Per-partition pull invariants live in private state (leading
-        # underscore: never synchronized): the reverse graph, its degree
-        # array, and the shrinking pool of pull candidates.  Distances
-        # only ever drop below INF, so vertices leave the pool and never
-        # return — filtering last round's pool gives the same (sorted)
-        # unvisited set the full scans produced, without rescanning every
-        # local vertex each pull round.
-        cache = state.get("_do_pull")
-        if cache is None:
-            rev = part.graph.reverse()
-            rdeg = rev.out_degrees()
-            cache = state["_do_pull"] = {
-                "rev": rev,
-                "rdeg": rdeg,
-                "pool": np.flatnonzero(rdeg > 0),
-            }
-        rev = cache["rev"]
-        rdeg = cache["rdeg"]
-        pool = cache["pool"]
-        unvisited = pool[dist[pool] == INF]
-        cache["pool"] = unvisited
-        rep, parents, _ = expand_frontier(rev, unvisited)
-        if len(parents) == 0:
+        # The reverse graph and the shrinking candidate pool live in
+        # repro.la.direction.PullPool, held in private state (leading
+        # underscore: never synchronized).  Both kernels route through
+        # the generic pull — the loop kernel just pins the numpy
+        # reference backend, so the arithmetic is the original loop's.
+        backend = self.la_backend if self.kernel == "la" \
+            else la_backend.BACKENDS["numpy"]
+        pool = state.get("_do_pull")
+        if pool is None:
+            pool = state["_do_pull"] = direction.PullPool(part.graph)
+        sr = semiring.MIN_PLUS
+        unvisited = pool.narrow(dist, sr.add.identity(dist.dtype))
+        step = direction.pull_step(unvisited, pool.rev, dist, sr, backend)
+        if step is None:
             return RoundOutput({"dist": _EMPTY}, _EMPTY, 0, np.zeros(0))
-        pdist = dist[parents].astype(np.int64)
-        valid = pdist < INF
-        # candidate distance for each unvisited vertex = min parent + 1
-        cand = np.full(len(unvisited), np.int64(INF), dtype=np.int64)
-        np.minimum.at(cand, rep[valid], pdist[valid] + 1)
-        hit = cand < INF
-        changed_local = unvisited[hit]
-        changed = scatter_min(
-            dist, changed_local, cand[hit].astype(np.uint32)
+        cand, hit, edges = step
+        changed = backend.scatter(
+            sr.add.op, dist, unvisited[hit], cand[hit].astype(np.uint32)
         )
         return RoundOutput(
             updated={"dist": changed},
             activated=changed,
-            edges_processed=len(parents),
-            frontier_degrees=rdeg[unvisited].astype(np.float64),
+            edges_processed=edges,
+            frontier_degrees=pool.rdeg[unvisited].astype(np.float64),
         )

@@ -8,6 +8,7 @@ import numpy as np
 from repro.apps.bfs import BFS
 from repro.apps.common import expand_frontier, scatter_min
 from repro.engine.operator import RoundOutput
+from repro.la import semiring, spmv
 
 __all__ = ["SSSP"]
 
@@ -16,7 +17,8 @@ class SSSP(BFS):
     """Chaotic-relaxation SSSP (Bellman-Ford style, frontier-driven).
 
     Identical sync contract to bfs (min-reduced ``dist``); the candidate
-    distance adds the edge weight instead of 1.
+    distance adds the edge weight instead of 1 — the same min-plus
+    semiring, with the explicit weight.
     """
 
     name = "sssp"
@@ -25,12 +27,21 @@ class SSSP(BFS):
     def compute(self, part, ctx, state, frontier) -> RoundOutput:
         dist = state["dist"]
         degrees = self.frontier_degrees(part, frontier)
-        rep, dsts, w = expand_frontier(part.graph, frontier, with_weights=True)
-        cand = dist[frontier[rep]].astype(np.int64) + w.astype(np.int64)
-        changed = scatter_min(dist, dsts, cand.astype(np.uint32))
+        if self.kernel == "la":
+            changed, edges = spmv.spmsv_push(
+                part.graph, frontier, dist, dist,
+                semiring.MIN_PLUS, self.la_backend, with_weights=True,
+            )
+        else:
+            rep, dsts, w = expand_frontier(
+                part.graph, frontier, with_weights=True
+            )
+            cand = dist[frontier[rep]].astype(np.int64) + w.astype(np.int64)
+            changed = scatter_min(dist, dsts, cand.astype(np.uint32))
+            edges = len(dsts)
         return RoundOutput(
             updated={"dist": changed},
             activated=changed,
-            edges_processed=len(dsts),
+            edges_processed=edges,
             frontier_degrees=degrees,
         )

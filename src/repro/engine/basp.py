@@ -205,7 +205,8 @@ class BASPEngine:
                 "basp.run",
                 "engine",
                 tid=P,
-                args={"benchmark": app.name, "dataset": pg.global_graph.name},
+                args={"benchmark": app.name, "dataset": pg.global_graph.name,
+                      "kernel": app.kernel},
             )
 
         stats = RunStats(

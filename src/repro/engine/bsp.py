@@ -184,7 +184,8 @@ class BSPEngine:
                 "bsp.run",
                 "engine",
                 tid=P,
-                args={"benchmark": app.name, "dataset": pg.global_graph.name},
+                args={"benchmark": app.name, "dataset": pg.global_graph.name,
+                      "kernel": app.kernel},
             )
 
         for rnd in range(ctx.max_rounds):

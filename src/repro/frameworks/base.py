@@ -42,6 +42,11 @@ class Framework(ABC):
     comm_config: CommConfig = CommConfig()
     execution: str = "sync"  # "sync" | "async"
     memory_profile: MemoryProfile = DIRGL_PROFILE
+    #: default compute kernel ("loop" | "la"); per-run override via
+    #: ``run(..., kernel=...)``.  Both are bit-identical (docs/kernels.md).
+    kernel: str = "loop"
+    #: array backend name for the LA kernel (None = auto-pick)
+    kernel_backend: str | None = None
 
     def __init__(self, policy: str | None = None):
         if policy is None:
@@ -94,13 +99,17 @@ class Framework(ABC):
             )
         return cluster
 
-    def resolve_app(self, app_name: str):
+    def resolve_app(self, app_name: str, kernel: str | None = None):
         if app_name in self.unsupported_apps:
             raise UnsupportedFeatureError(
                 f"{self.name} cannot run {app_name!r} "
                 "(missing, incorrect, or crashed in the study)"
             )
-        return get_app(self.app_aliases.get(app_name, app_name))
+        return get_app(
+            self.app_aliases.get(app_name, app_name),
+            kernel=kernel or self.kernel,
+            backend=self.kernel_backend,
+        )
 
     def make_context(self, dataset: Dataset, app, **overrides) -> RunContext:
         graph = dataset.graph
@@ -129,6 +138,7 @@ class Framework(ABC):
         engine_executor: str = "serial",
         fault_plan=None,
         tracer=None,
+        kernel: str | None = None,
         **ctx_overrides,
     ) -> RunResult:
         """Run one benchmark the way this framework would.
@@ -139,7 +149,9 @@ class Framework(ABC):
         :class:`repro.engine.faults.FaultPlan`) injects deterministic
         simulated crashes.  ``tracer`` attaches a :class:`repro.obs.Tracer`
         to the engine; when omitted, the ambient tracer installed via
-        :func:`repro.obs.set_tracer` (if any) is used.
+        :func:`repro.obs.set_tracer` (if any) is used.  ``kernel``
+        overrides the facade's compute kernel for this run (``"loop"`` /
+        ``"la"``; bit-identical by contract, see docs/kernels.md).
 
         Raises
         ------
@@ -155,7 +167,7 @@ class Framework(ABC):
             from repro import obs
 
             tracer = obs.current_tracer()
-        app = self.resolve_app(app_name)
+        app = self.resolve_app(app_name, kernel=kernel)
         cluster = self.make_cluster(num_gpus, platform)
         graph = dataset.symmetric() if app.needs_symmetric else dataset.graph
         pg = make_partition(graph, self.policy, num_gpus)

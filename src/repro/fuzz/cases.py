@@ -64,6 +64,9 @@ class Case:
     #: ``[[gpu_index, round_index], ...]`` deterministic crash schedule
     fault_plan: list = field(default_factory=list)
     k: int = 2  # kcore threshold
+    #: compute kernel ("loop" | "la"); defaults keep pre-kernel cases
+    #: loading without a schema-version bump
+    kernel: str = "loop"
     # provenance (ignored by replay)
     seed: int | None = None
     shape: str = ""
@@ -96,8 +99,9 @@ class Case:
             )
         )
         fp = f"+fault{len(self.fault_plan)}" if self.fault_plan else ""
+        kn = f"/{self.kernel}" if self.kernel != "loop" else ""
         return (
-            f"{self.app}/{self.policy}/p{self.parts}/{self.engine}/{flags}{fp}"
+            f"{self.app}/{self.policy}/p{self.parts}/{self.engine}/{flags}{fp}{kn}"
         )
 
     # ------------------------------------------------------------------ #
@@ -212,7 +216,7 @@ def run_case(case: Case, check="full", use_cache: bool = True):
     from repro.partition import partition
 
     graph = case.graph()
-    app = get_app(case.app)
+    app = get_app(case.app, kernel=case.kernel)
     if case.engine == "basp" and not app.async_capable:
         from repro.errors import ConfigurationError
 

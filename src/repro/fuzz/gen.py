@@ -23,7 +23,7 @@ from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
 from repro.graph.transform import add_random_weights
 
-__all__ = ["SHAPES", "random_graph", "build_shape"]
+__all__ = ["SHAPES", "random_graph", "build_shape", "dense_graph"]
 
 _MAX_N = 40
 
@@ -141,6 +141,21 @@ SHAPES = {
     "cycle": _cycle,
     "complete": _complete,
 }
+
+
+def dense_graph(n: int, seed: int = 0) -> CSRGraph:
+    """Deterministic weighted complete digraph (no self-loops).
+
+    Every frontier is edge-heavy relative to ``|E|`` (``frontier_edges *
+    alpha > |E|`` whenever ``n < alpha``), so direction-optimized
+    traversal *pulls from round one* — the mutation battery and the
+    kernel tests use this to pin the pull path deterministically.
+    """
+    src, dst = np.divmod(np.arange(n * n), n)
+    keep = src != dst
+    g = from_edges(src[keep], dst[keep], num_vertices=n,
+                   name=f"fuzz-dense{n}")
+    return add_random_weights(g, seed=seed)
 
 
 def build_shape(name: str, rng) -> CSRGraph:

@@ -27,6 +27,7 @@ __all__ = [
     "stale_partition_cache",
     "cc_wrong_tiebreak",
     "bitset_clear_off_by_one",
+    "la_semiring_identity",
 ]
 
 
@@ -209,6 +210,37 @@ def bitset_clear_off_by_one():
         _fresh_caches()
 
 
+@contextmanager
+def la_semiring_identity():
+    """The min-plus additive identity planted as 0 instead of INF.
+
+    The classic semiring bug: an "identity" that is not actually
+    neutral.  Everything in the LA core that fills with or compares
+    against the identity is poisoned — most visibly the direction
+    selector's pull pool, which now takes *visited* vertices (distance
+    0) for unvisited candidates and never relaxes anyone, so bfs-do
+    terminates with unreached labels.  The semiring catalog is looked
+    up through the module attribute at call time precisely so this
+    plant is visible to the apps; caught by the final reference
+    comparison on any pull-heavy cell (and by the kernel twin
+    differential when the fuzzer draws one).
+    """
+    from dataclasses import replace
+
+    from repro.la import semiring
+
+    orig = semiring.MIN_PLUS
+    _fresh_caches()
+    semiring.MIN_PLUS = replace(
+        orig, add=replace(orig.add, identity_value=0)
+    )
+    try:
+        yield
+    finally:
+        semiring.MIN_PLUS = orig
+        _fresh_caches()
+
+
 #: name -> context manager, for the self-test CLI and the pytest suite
 MUTATIONS = {
     "drop-mirror-update": drop_mirror_update,
@@ -217,6 +249,7 @@ MUTATIONS = {
     "stale-partition-cache": stale_partition_cache,
     "cc-wrong-tiebreak": cc_wrong_tiebreak,
     "bitset-clear-off-by-one": bitset_clear_off_by_one,
+    "la-semiring-identity": la_semiring_identity,
 }
 
 
@@ -227,11 +260,13 @@ def detection_candidates():
     mirror update fatal (the frontier must cross a partition boundary
     through a broadcast-fed src proxy, so the answer breaks rather than
     merely drifting), an R-MAT cell exercises the dense plan/table
-    structure, and a symmetric CC cell is the only one the tie-break
-    mutation can touch.
+    structure, a symmetric CC cell is the only one the tie-break
+    mutation can touch, and a dense bfs-do cell on the LA kernel pulls
+    from round one — the only cell a poisoned semiring identity can
+    reach.
     """
     from repro.fuzz.cases import Case
-    from repro.fuzz.gen import build_shape
+    from repro.fuzz.gen import build_shape, dense_graph
     from repro.graph.builder import from_edges
     from repro.graph.transform import add_random_weights, make_undirected
 
@@ -244,6 +279,7 @@ def detection_candidates():
                    name="mut-path"),
         seed=3,
     )
+    dense = dense_graph(8, seed=5)
     return [
         Case.from_graph(path, app="bfs", policy="iec", parts=4,
                         engine="bsp", shape="path"),
@@ -251,6 +287,8 @@ def detection_candidates():
                         engine="bsp", shape="rmat"),
         Case.from_graph(sym, app="cc", policy="oec", parts=4,
                         engine="bsp", shape="rmat-sym"),
+        Case.from_graph(dense, app="bfs-do", policy="oec", parts=4,
+                        engine="bsp", shape="dense", kernel="la"),
     ]
 
 

@@ -1,0 +1,154 @@
+"""The semiring catalog: (add-monoid, multiply) pairs with the exact
+dtype contract the legacy loop kernels established.
+
+A GraphBLAS semiring is ``(add, mult)``: ``mult`` combines an edge's
+source value with the edge weight, ``add`` reduces the combined values
+arriving at each destination.  The catalog below covers the four the
+apps need (GraphBLAST ships the same core set):
+
+========== =========== ========== ==============================
+name       add         mult       app
+========== =========== ========== ==============================
+min-plus   min / INF   x + w      bfs (w=1, implicit), sssp
+min-first  min / INF   x          cc label propagation
+plus-times add / 0     x * w      pr (pull gather and push delta)
+or-and     or  / False x & w      reachability (property tests)
+========== =========== ========== ==============================
+
+``combine`` is deliberately *not* a clean mathematical map: it encodes
+the loop path's widen-then-narrow casts (candidates computed in int64,
+stored back as uint32; pull gathers promoted to float64) because the
+kernel path's contract is bit-identity with those loops, casts and all.
+
+Apps and kernels look semirings up through this module's attributes at
+call time (``semiring.MIN_PLUS``, not a local alias bound at import) so
+the fuzzer's planted semiring-identity mutation is visible to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Monoid",
+    "Semiring",
+    "SEMIRINGS",
+    "MIN_PLUS",
+    "MIN_FIRST",
+    "PLUS_TIMES",
+    "OR_AND",
+]
+
+#: sentinel identity: the dtype's largest representable value
+MAXVAL = "maxval"
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """A commutative monoid: the reduction half of a semiring."""
+
+    #: backend scatter op name: "min" | "max" | "add" | "or"
+    op: str
+    #: identity element; the :data:`MAXVAL` sentinel resolves per dtype
+    identity_value: object
+
+    def identity(self, dtype):
+        """The identity as a scalar of ``dtype``."""
+        dt = np.dtype(dtype)
+        if self.identity_value == MAXVAL:
+            if dt.kind in "iu":
+                return dt.type(np.iinfo(dt).max)
+            return dt.type(np.inf)
+        return dt.type(self.identity_value)
+
+    @property
+    def ufunc(self):
+        """The numpy ufunc realizing ``op`` (dense references, tests)."""
+        return {
+            "min": np.minimum,
+            "max": np.maximum,
+            "add": np.add,
+            "or": np.logical_or,
+        }[self.op]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An add-monoid plus a multiply, with the loop path's cast contract.
+
+    ``mult`` names the edge combine: ``"plus"`` (x + w, weightless
+    edges count 1), ``"first"`` (x, weight ignored), ``"times"``
+    (x * w, weightless edges count 1), ``"and"`` (x & w).
+
+    ``accum_dtype`` is the dtype ``combine`` computes/returns in (the
+    loop kernels widen before reducing); ``cast_to_out`` narrows the
+    result to the output vector's dtype afterwards (the loop kernels'
+    ``.astype(np.uint32)`` before ``scatter_min``).
+    """
+
+    name: str
+    add: Monoid
+    mult: str
+    accum_dtype: object = None
+    cast_to_out: bool = False
+
+    def combine(self, xv: np.ndarray, w, out_dtype=None) -> np.ndarray:
+        """Combine gathered source values ``xv`` with edge weights ``w``
+        (``None`` for weightless edges)."""
+        if self.mult == "plus":
+            acc = self.accum_dtype or np.int64
+            c = xv.astype(acc) + (1 if w is None else w.astype(acc))
+        elif self.mult == "first":
+            c = xv
+        elif self.mult == "times":
+            c = xv if w is None else xv * w
+            if self.accum_dtype is not None and c.dtype != self.accum_dtype:
+                c = c.astype(self.accum_dtype)
+        elif self.mult == "and":
+            c = xv if w is None else xv & w
+        else:
+            raise ConfigurationError(f"unknown semiring mult {self.mult!r}")
+        if self.cast_to_out and out_dtype is not None and c.dtype != out_dtype:
+            c = c.astype(out_dtype)
+        return c
+
+    def mult_values(self, xv, w):
+        """Plain semiring multiply, no dtype contract (dense references
+        and the property tests; ``w=None`` means the implicit weight)."""
+        if self.mult == "plus":
+            return xv + (1 if w is None else w)
+        if self.mult == "first":
+            return xv
+        if self.mult == "times":
+            return xv if w is None else xv * w
+        if self.mult == "and":
+            return xv & w if w is not None else xv
+        raise ConfigurationError(f"unknown semiring mult {self.mult!r}")
+
+    def annihilator(self, dtype):
+        """The multiplicative annihilator: ``mult(a, x) == a`` for all x.
+
+        For every catalog semiring it coincides with the add identity
+        (min-plus: INF/inf; plus-times: 0; or-and: False) — one of the
+        axioms the property suite checks.
+        """
+        return self.add.identity(dtype)
+
+
+MIN_PLUS = Semiring(
+    "min-plus", Monoid("min", MAXVAL), "plus",
+    accum_dtype=np.int64, cast_to_out=True,
+)
+MIN_FIRST = Semiring("min-first", Monoid("min", MAXVAL), "first")
+PLUS_TIMES = Semiring(
+    "plus-times", Monoid("add", 0.0), "times", accum_dtype=np.float64
+)
+OR_AND = Semiring("or-and", Monoid("or", False), "and")
+
+SEMIRINGS: dict[str, Semiring] = {
+    s.name: s for s in (MIN_PLUS, MIN_FIRST, PLUS_TIMES, OR_AND)
+}

@@ -81,6 +81,11 @@ class SweepExecutor:
     engine_executor:
         compute-phase dispatch stamped onto every :class:`CellSpec`
         (``"serial"`` or ``"threads"``); results are bit-identical.
+    kernel:
+        compute kernel stamped onto every :class:`CellSpec` that does
+        not pin one itself (``"loop"`` or ``"la"``); labels are
+        bit-identical either way (docs/kernels.md), so ``--kernel la``
+        sweeps validate the LA path at full study scale.
     trace_dir:
         when set, every cell writes a Chrome trace JSON here (see
         :mod:`repro.obs`); workers inherit the setting through the pool
@@ -100,10 +105,12 @@ class SweepExecutor:
         start_method: Optional[str] = None,
         trace_dir: Optional[str] = None,
         check=None,
+        kernel: str = "loop",
     ):
         self.jobs = int(jobs)
         self.cache_dir = cache_dir
         self.engine_executor = engine_executor
+        self.kernel = kernel
         self.start_method = start_method or default_start_method()
         self.trace_dir = None if trace_dir is None else str(trace_dir)
         if check is not None:
@@ -142,13 +149,14 @@ class SweepExecutor:
         return self._pool
 
     def _prepare(self, spec):
-        if (
-            isinstance(spec, CellSpec)
-            and self.engine_executor != "serial"
-            and spec.engine_executor == "serial"
-        ):
-            return replace(spec, engine_executor=self.engine_executor)
-        return spec
+        if not isinstance(spec, CellSpec):
+            return spec
+        updates = {}
+        if self.engine_executor != "serial" and spec.engine_executor == "serial":
+            updates["engine_executor"] = self.engine_executor
+        if self.kernel != "loop" and not spec.kernel:
+            updates["kernel"] = self.kernel
+        return replace(spec, **updates) if updates else spec
 
     # ------------------------------------------------------------------ #
     def map(
