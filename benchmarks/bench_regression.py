@@ -44,6 +44,16 @@ Three guards, two committed baselines (``benchmarks/BENCH_sync.json``,
   (``REPRO_LA_NUMPY_TOL`` overrides), the jitted numba backend >= 1.5x
   faster when importable (skipped with a note otherwise), and every leg
   bit-identical to the loop reference (docs/kernels.md).
+* the **out-of-core pipeline gate** (``--ooc-only``, baseline
+  ``benchmarks/BENCH_ooc.json``) — chunk-generate an R-MAT store at
+  least 4x the configured RAM cap, partition it into spilled shards,
+  and fan bfs + pr-push out over spawn workers: every worker's peak
+  *anonymous* RSS must stay under the cap, warm mmap wall-clock within
+  1.25x of the in-RAM path on a small graph, and rounds/label CRCs
+  bit-identical to the baseline (``REPRO_OOC_RAM_CAP_MB`` /
+  ``REPRO_OOC_RSS_TOL`` / ``REPRO_OOC_WALL_TOL`` override; the
+  deterministic comparison is skipped when the env knobs change the
+  graph scale — docs/scale.md).
 
 Usage::
 
@@ -59,6 +69,7 @@ benches do.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -92,11 +103,15 @@ from repro.metrics.perfbaseline import (
     write_la_baseline,
     write_sweep_baseline,
 )
+from repro.study.ooc import OocConfig
+from repro.study.ooc import evaluate as ooc_evaluate
+from repro.study.ooc import run_ooc_study
 from repro.study.report import format_table
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sync.json"
 SWEEP_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sweep.json"
 LA_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_la.json"
+OOC_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_ooc.json"
 
 #: Worker count for the deterministic sweep check — 2 processes is enough
 #: to prove pool fan-out changes nothing, and stays CI-friendly.
@@ -207,6 +222,52 @@ def _la_violations(sp: dict) -> list[str]:
     return violations
 
 
+def _ooc_line(report) -> str:
+    cfg = report.config
+    walls = report.small_wall
+    return (
+        f"ooc pipeline @ scale {cfg.scale} (ef {cfg.edge_factor:g}, "
+        f"{cfg.num_partitions} parts): "
+        f"{report.store_bytes / 2**20:.0f} MiB store = "
+        f"{report.store_bytes / cfg.ram_cap_bytes:.1f}x the "
+        f"{cfg.ram_cap_mb:g} MiB cap; peak worker RSS "
+        f"{report.peak_rss_bytes / 2**20:.1f} MiB "
+        f"(gate: <= {cfg.ram_cap_mb * cfg.rss_tol:g} MiB); "
+        f"warm mmap/ram wall {walls['mmap'] / walls['ram']:.2f}x "
+        f"(gate: <= {cfg.wall_tol:g}x)"
+    )
+
+
+def _ooc_baseline(report):
+    """``(baseline, note)``: the committed baseline if comparable.
+
+    The env knobs (cap, size multiple) change the derived graph scale;
+    rounds and label CRCs are only meaningful against a baseline built
+    from the same deterministic inputs, so a mismatch skips the
+    comparison (with a note) instead of reporting false regressions —
+    the CI smoke run uses a tiny cap on purpose.
+    """
+    if not OOC_BASELINE_PATH.exists():
+        return None, (
+            f"no ooc baseline at {OOC_BASELINE_PATH}; "
+            "run --ooc-only --update first"
+        )
+    baseline = json.loads(OOC_BASELINE_PATH.read_text())
+    ours = report.to_json()["config"]
+    theirs = baseline.get("config", {})
+    diff = [
+        k for k in ("scale", "edge_factor", "num_partitions", "seed",
+                    "apps", "tolerance", "block_edges")
+        if ours.get(k) != theirs.get(k)
+    ]
+    if diff:
+        return None, (
+            "ooc baseline built with different "
+            f"{'/'.join(diff)}; deterministic comparison skipped"
+        )
+    return baseline, None
+
+
 def _sweep_line(sp: dict) -> str:
     return (
         f"sweep runtime on {sp['dataset']} ({sp['cells']} cells): "
@@ -283,6 +344,16 @@ def test_la_kernel(once):
     assert not violations, "\n".join(violations)
 
 
+def test_ooc_pipeline(once):
+    report = once(lambda: run_ooc_study(OocConfig.from_env()))
+    archive("regression_ooc", _ooc_line(report))
+    baseline, note = _ooc_baseline(report)
+    if note:
+        print(note)
+    violations = ooc_evaluate(report, baseline=baseline)
+    assert not violations, "\n".join(violations)
+
+
 # --------------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------------- #
@@ -327,7 +398,36 @@ def main(argv=None) -> int:
              "the loop path, la-numba >= 1.5x when importable, all legs "
              "bit-identical (what the CI la job runs)",
     )
+    ap.add_argument(
+        "--ooc-only", action="store_true",
+        help="run just the out-of-core pipeline gate: store >= 4x the "
+             "RAM cap, worker peak RSS under the cap, warm mmap wall "
+             "within tolerance, deterministic metrics vs BENCH_ooc.json "
+             "(combine with --update to regenerate the baseline)",
+    )
     args = ap.parse_args(argv)
+
+    if args.ooc_only:
+        report = run_ooc_study(
+            OocConfig.from_env(), progress=lambda m: print(f"  {m}")
+        )
+        print(_ooc_line(report))
+        if args.update:
+            OOC_BASELINE_PATH.write_text(
+                json.dumps(report.to_json(), indent=1, sort_keys=True) + "\n"
+            )
+            print(f"ooc baseline written to {OOC_BASELINE_PATH}")
+            return 0
+        baseline, note = _ooc_baseline(report)
+        if note:
+            print(note)
+        violations = ooc_evaluate(report, baseline=baseline)
+        for v in violations:
+            print(f"REGRESSION: {v}")
+        if violations:
+            return 1
+        print("ooc pipeline within tolerance")
+        return 0
 
     if args.la_kernel_only:
         sp = measure_la_kernel()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import expand_frontier, scatter_min
+from repro.apps.common import expand_frontier_blocks, merge_touched, scatter_min
 from repro.comm.gluon import FieldSpec
 from repro.constants import INF
 from repro.engine.operator import RoundOutput, RunContext, SyncStep, VertexProgram
@@ -68,10 +68,18 @@ class BFS(VertexProgram):
                 semiring.MIN_PLUS, self.la_backend,
             )
         else:
-            rep, dsts, _ = expand_frontier(part.graph, frontier)
-            cand = dist[frontier[rep]].astype(np.int64) + 1
-            changed = scatter_min(dist, dsts, cand.astype(np.uint32))
-            edges = len(dsts)
+            # blocked expansion: bounded per-edge temporaries on huge
+            # frontiers, a single block (the exact unblocked kernel)
+            # otherwise.  Relaxations are monotone min, so per-block
+            # application changes nothing about the final labels.
+            parts, edges = [], 0
+            for blk, rep, dsts, _ in expand_frontier_blocks(
+                part.graph, frontier
+            ):
+                cand = dist[blk[rep]].astype(np.int64) + 1
+                parts.append(scatter_min(dist, dsts, cand.astype(np.uint32)))
+                edges += len(dsts)
+            changed = merge_touched(parts)
         return RoundOutput(
             updated={"dist": changed},
             activated=changed,

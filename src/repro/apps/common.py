@@ -2,11 +2,39 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["expand_frontier", "scatter_min", "scatter_add"]
+__all__ = [
+    "expand_frontier",
+    "expand_frontier_blocks",
+    "block_edge_budget",
+    "merge_touched",
+    "scatter_min",
+    "scatter_add",
+]
+
+#: default edge budget per expansion block (see
+#: :func:`expand_frontier_blocks`); large enough that every graph in the
+#: regular study fits in one block — the blocked path only engages on
+#: out-of-core-scale frontiers
+DEFAULT_BLOCK_EDGES = 1 << 20
+
+
+def block_edge_budget() -> int:
+    """The ambient per-block edge budget.
+
+    ``REPRO_BLOCK_EDGES`` overrides the default — the out-of-core sweep
+    sets it low in its workers so one dense round's per-edge temporaries
+    (~40 bytes/edge across the expansion arrays) stay well under the RAM
+    cap.  Read per call: spawn-started pool workers inherit the driver's
+    environment, and a dict lookup is noise next to an expansion.
+    """
+    raw = os.environ.get("REPRO_BLOCK_EDGES")
+    return int(raw) if raw else DEFAULT_BLOCK_EDGES
 
 
 def expand_frontier(
@@ -33,6 +61,63 @@ def expand_frontier(
     dsts = graph.indices[eidx].astype(np.int64)
     w = graph.weights[eidx] if with_weights else None
     return rep, dsts, w
+
+
+def expand_frontier_blocks(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    with_weights: bool = False,
+    max_edges: int | None = None,
+):
+    """Yield ``(block, rep, dsts, weights)`` over contiguous frontier slices
+    whose out-edge totals stay under ``max_edges`` (always at least one
+    vertex per block).
+
+    :func:`expand_frontier` materializes several O(edges) temporaries at
+    once; on an out-of-core graph one dense round would allocate a
+    footprint rivaling the graph itself.  Processing the frontier in
+    slices bounds that to O(``max_edges``), and because the slices are
+    contiguous the concatenated per-edge streams are *exactly* the full
+    expansion — elementwise kernels (``np.add.at`` / ``np.minimum.at``)
+    applied block by block perform the identical operation sequence, so
+    results are bit-identical to the unblocked path.  A frontier that
+    fits the budget comes back as a single block, which IS the unblocked
+    path.
+    """
+    n = len(frontier)
+    if n == 0:
+        return
+    if max_edges is None:
+        max_edges = block_edge_budget()
+    counts = np.asarray(graph.indptr[frontier + 1]) - graph.indptr[frontier]
+    if int(counts.sum()) <= max_edges:
+        rep, dsts, w = expand_frontier(graph, frontier, with_weights)
+        yield frontier, rep, dsts, w
+        return
+    cum = np.cumsum(counts)
+    start = 0
+    while start < n:
+        base = int(cum[start - 1]) if start else 0
+        stop = int(np.searchsorted(cum, base + max_edges, side="right"))
+        stop = min(max(stop, start + 1), n)
+        blk = frontier[start:stop]
+        rep, dsts, w = expand_frontier(graph, blk, with_weights)
+        yield blk, rep, dsts, w
+        start = stop
+
+
+def merge_touched(parts: list[np.ndarray]) -> np.ndarray:
+    """Union of per-block touched/changed ID arrays, sorted unique.
+
+    One block passes through untouched (it is already sorted unique),
+    keeping the single-block fast path allocation-identical to the
+    unblocked kernels.
+    """
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    return np.unique(np.concatenate(parts))
 
 
 def scatter_min(labels: np.ndarray, targets: np.ndarray, values: np.ndarray):

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import expand_frontier
+from repro.apps.common import expand_frontier, expand_frontier_blocks, merge_touched
 from repro.comm.gluon import FieldSpec
 from repro.la import semiring, spmv
 from repro.engine.operator import (
@@ -286,11 +286,18 @@ class PageRankPush(VertexProgram):
                 semiring.PLUS_TIMES, self.la_backend,
             )
         else:
-            rep, dsts, _ = expand_frontier(part.graph, frontier)
-            amount = push_val[frontier] - pushed[frontier]
-            np.add.at(acc, dsts, amount[rep])
-            touched = np.unique(dsts)
-            edges = len(dsts)
+            # blocked expansion, one block when the frontier fits (the
+            # exact unblocked kernel).  compute never writes push_val or
+            # pushed, and consecutive blocks replay np.add.at's global
+            # edge order, so float accumulation is bit-identical.
+            parts, edges = [], 0
+            for blk, rep, dsts, _ in expand_frontier_blocks(
+                part.graph, frontier
+            ):
+                np.add.at(acc, dsts, (push_val[blk] - pushed[blk])[rep])
+                parts.append(np.unique(dsts))
+                edges += len(dsts)
+            touched = merge_touched(parts)
         pushed[frontier] = push_val[frontier]
         return RoundOutput(
             updated={"resid_acc": touched},

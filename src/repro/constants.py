@@ -13,6 +13,19 @@ import numpy as np
 #: dtype for local vertex indices within one partition.
 VID_DTYPE = np.int32
 
+
+def vid_dtype_for(num_vertices: int) -> np.dtype:
+    """Narrowest safe dtype for vertex indices of an ``num_vertices`` graph.
+
+    CSR ``indices`` use :data:`VID_DTYPE` (int32) everywhere the paper's
+    inputs fit it; graphs whose vertex count exceeds ``int32`` promote to
+    ``int64`` instead of silently wrapping (overflow-safe promotion for
+    billion-vertex stand-ins).
+    """
+    if num_vertices > np.iinfo(VID_DTYPE).max:
+        return np.dtype(np.int64)
+    return np.dtype(VID_DTYPE)
+
 #: dtype for global vertex IDs (what Lux sends on the wire; Gluon elides it).
 GID_DTYPE = np.int64
 

@@ -113,8 +113,11 @@ class Framework(ABC):
 
     def make_context(self, dataset: Dataset, app, **overrides) -> RunContext:
         graph = dataset.graph
-        sym = dataset.symmetric()
-        sym_deg = sym.out_degrees()
+        # symmetric_degrees() instead of symmetric().out_degrees(): for
+        # store-backed datasets the former streams in O(|V|) resident
+        # memory, while an unconditional symmetrization would re-inflate
+        # the whole edge list in RAM even for push-only benchmarks
+        sym_deg = dataset.symmetric_degrees()
         defaults = dict(
             num_global_vertices=graph.num_vertices,
             source=dataset.source_vertex,

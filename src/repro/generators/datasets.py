@@ -28,7 +28,14 @@ from repro.generators.powerlaw import powerlaw_social
 from repro.generators.rmat import rmat
 from repro.generators.webcrawl import webcrawl
 
-__all__ = ["DatasetSpec", "Dataset", "DATASETS", "dataset_names", "load_dataset"]
+__all__ = [
+    "DatasetSpec",
+    "Dataset",
+    "StoreDataset",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -88,11 +95,42 @@ class Dataset:
             self._symmetric = make_undirected(self.graph)
         return self._symmetric
 
+    def symmetric_degrees(self) -> np.ndarray:
+        """Per-vertex degrees of the symmetrized view.
+
+        Drives the default kcore ``k`` and ``ctx.global_degrees``.  The
+        base implementation materializes :meth:`symmetric` (O(|E|) RAM);
+        out-of-core datasets override this with a streaming computation so
+        that push-only benchmarks never pay an in-RAM symmetrization.
+        """
+        return self.symmetric().out_degrees()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<Dataset {self.name} [{self.category}] |V|={self.graph.num_vertices:,} "
             f"|E|={self.graph.num_edges:,} scale={self.scale_factor:,.0f}x>"
         )
+
+
+@dataclass
+class StoreDataset(Dataset):
+    """A dataset served from an on-disk store container (docs/scale.md).
+
+    ``scale_factor`` is 1.0: store graphs run at their real size rather
+    than as scaled stand-ins.  :meth:`symmetric_degrees` streams
+    ``out + in`` degrees (O(|V|) resident) instead of materializing a
+    symmetrized graph; the sum double-counts reciprocal edges relative to
+    the deduplicating symmetrizer, which only shifts the kcore default-k
+    heuristic — the zero/non-zero pattern mis relies on is exact.  Apps
+    that traverse the symmetrized topology itself (cc, kcore) still pay
+    an in-RAM symmetrization via :meth:`Dataset.symmetric`.
+    """
+
+    store_path: str = ""
+
+    def symmetric_degrees(self) -> np.ndarray:
+        g = self.graph
+        return g.out_degrees() + g.in_degrees()
 
 
 def _spec(name, paper_name, category, kind, gen, V, E, dout, din, diam, gb):
@@ -207,13 +245,52 @@ def dataset_names(category: str | None = None, include_test: bool = False) -> li
     return out
 
 
+#: ``load_dataset`` name prefixes that open an on-disk store container
+#: instead of generating a stand-in: ``store+mmap:<path>`` serves the CSR
+#: arrays as memmaps (out-of-core), ``store+ram:<path>`` loads them fully.
+_STORE_PREFIXES = {"store+mmap:": "mmap", "store+ram:": "ram"}
+
+
+def _load_store_dataset(name: str, mode: str, path: str) -> StoreDataset:
+    from repro.constants import GIB
+    from repro.graph.store import open_csr
+
+    graph = open_csr(path, mode=mode)
+    stats = PaperStats(
+        num_vertices=float(graph.num_vertices),
+        num_edges=float(max(graph.num_edges, 1)),
+        max_out_degree=int(graph.out_degrees().max(initial=0)),
+        max_in_degree=0,  # would cost an O(|E|) scan at open time
+        approx_diameter=0,
+        size_gb=graph.nbytes() / GIB,
+    )
+    spec = DatasetSpec(
+        name=name,
+        paper_name=graph.name or path,
+        category="store",
+        kind="store",
+        generator=lambda: open_csr(path, mode=mode),
+        paper=stats,
+    )
+    return StoreDataset(
+        spec=spec, graph=graph, scale_factor=1.0, store_path=path
+    )
+
+
 @functools.lru_cache(maxsize=None)
 def load_dataset(name: str, weighted: bool = True) -> Dataset:
     """Generate (once; cached) and return the named stand-in dataset.
 
     The returned graph carries randomized edge weights when ``weighted``
     (the paper adds them to every input for sssp).
+
+    Names of the form ``store+mmap:<path>`` / ``store+ram:<path>`` open an
+    existing store container instead (``weighted`` is ignored — the store
+    carries whatever weights it was built with).
     """
+    for prefix, mode in _STORE_PREFIXES.items():
+        if name.startswith(prefix):
+            return _load_store_dataset(name, mode, name[len(prefix):])
     try:
         spec = DATASETS[name]
     except KeyError:

@@ -20,6 +20,13 @@ from repro.graph.transform import (
     make_undirected,
 )
 from repro.graph.io import load_edgelist, save_edgelist, load_binary, save_binary
+from repro.graph.store import (
+    from_edge_chunks,
+    open_csr,
+    store_info,
+    verify_store,
+    write_csr_store,
+)
 
 __all__ = [
     "CSRGraph",
@@ -39,4 +46,9 @@ __all__ = [
     "save_edgelist",
     "load_binary",
     "save_binary",
+    "from_edge_chunks",
+    "open_csr",
+    "store_info",
+    "verify_store",
+    "write_csr_store",
 ]

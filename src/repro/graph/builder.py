@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.constants import EID_DTYPE, VID_DTYPE
+from repro.constants import EID_DTYPE, vid_dtype_for
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph
 
@@ -71,7 +71,9 @@ def from_edges(
 
     indptr = np.zeros(num_vertices + 1, dtype=EID_DTYPE)
     np.cumsum(np.bincount(src, minlength=num_vertices), out=indptr[1:])
-    return CSRGraph(indptr, dst.astype(VID_DTYPE), weights, name=name)
+    return CSRGraph(
+        indptr, dst.astype(vid_dtype_for(num_vertices)), weights, name=name
+    )
 
 
 def from_networkx(g, weight_attr: Optional[str] = None, name: str = "") -> CSRGraph:

@@ -20,7 +20,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.constants import EID_DTYPE, VID_DTYPE, WEIGHT_DTYPE
+from repro.constants import EID_DTYPE, WEIGHT_DTYPE, vid_dtype_for
 from repro.errors import GraphFormatError
 
 __all__ = ["CSRGraph"]
@@ -64,7 +64,9 @@ class CSRGraph:
         name: str = "",
     ):
         indptr = np.asarray(indptr, dtype=EID_DTYPE)
-        indices = np.asarray(indices, dtype=VID_DTYPE)
+        # indices stay int32 (VID_DTYPE) unless the vertex count exceeds
+        # int32, in which case they promote to int64 instead of wrapping
+        indices = np.asarray(indices, dtype=vid_dtype_for(max(len(indptr) - 1, 0)))
         if indptr.ndim != 1 or indices.ndim != 1:
             raise GraphFormatError("indptr and indices must be 1-D arrays")
         if len(indptr) == 0:
@@ -96,6 +98,47 @@ class CSRGraph:
         self._content_hash: Optional[str] = None
 
     # ------------------------------------------------------------------ #
+    # trusted construction (the mmap store's fast path)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_validated_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        name: str = "",
+    ) -> "CSRGraph":
+        """Wrap already-validated CSR arrays without the O(|V| + |E|) scans.
+
+        The normal constructor verifies monotonicity and index bounds by
+        touching every element — on an mmap-backed billion-edge store that
+        pages the whole file in just to *open* it.  This path is for
+        callers whose arrays carry their own integrity guarantee (the
+        checksummed :mod:`repro.graph.store` container, the partition
+        shard cache); only O(1) shape consistency is re-checked.  Arrays
+        are stored as given (dtype included) — a memmap stays a memmap.
+        """
+        if len(indptr) == 0:
+            raise GraphFormatError("indptr must have at least one entry")
+        if int(indptr[0]) != 0 or int(indptr[-1]) != len(indices):
+            raise GraphFormatError(
+                "trusted CSR arrays are inconsistent: indptr endpoints "
+                f"({int(indptr[0])}, {int(indptr[-1])}) vs |E|={len(indices)}"
+            )
+        if weights is not None and weights.shape != indices.shape:
+            raise GraphFormatError("weights must parallel indices")
+        g = cls.__new__(cls)
+        g.indptr = _freeze(indptr)
+        g.indices = _freeze(indices)
+        g.weights = _freeze(weights) if weights is not None else None
+        g._reverse = None
+        g._name = name
+        g._out_degrees = None
+        g._in_degrees = None
+        g._content_hash = None
+        return g
+
+    # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #
     @property
@@ -121,14 +164,29 @@ class CSRGraph:
             self._out_degrees = _freeze(np.diff(self.indptr))
         return self._out_degrees
 
+    #: elements per block for streaming passes over the edge arrays —
+    #: bounds the anonymous footprint of degree counting on file-backed
+    #: graphs to O(block) instead of O(|E|) (``np.bincount`` widens its
+    #: input to ``intp``, so a block costs 8 x this in bytes)
+    _SCAN_BLOCK = 1 << 19
+
     def in_degrees(self) -> np.ndarray:
-        """In-degree of every vertex (cached after first call)."""
+        """In-degree of every vertex (cached after first call).
+
+        Counted blockwise: ``np.bincount`` casts its whole input to
+        ``intp`` up front, an O(|E|) anonymous allocation that would
+        defeat mmap-backed out-of-core graphs.  Integer sums commute, so
+        the blocked result is identical.
+        """
         if self._in_degrees is None:
-            self._in_degrees = _freeze(
-                np.bincount(
-                    self.indices, minlength=self.num_vertices
-                ).astype(EID_DTYPE)
-            )
+            counts = np.zeros(self.num_vertices, dtype=np.int64)
+            idx = self.indices
+            for lo in range(0, len(idx), self._SCAN_BLOCK):
+                counts += np.bincount(
+                    idx[lo : lo + self._SCAN_BLOCK],
+                    minlength=self.num_vertices,
+                )
+            self._in_degrees = _freeze(counts.astype(EID_DTYPE))
         return self._in_degrees
 
     def neighbors(self, v: int) -> np.ndarray:
@@ -144,7 +202,8 @@ class CSRGraph:
     def edge_sources(self) -> np.ndarray:
         """Expand CSR to a per-edge source array (``int32``, O(|E|))."""
         return np.repeat(
-            np.arange(self.num_vertices, dtype=VID_DTYPE), self.out_degrees()
+            np.arange(self.num_vertices, dtype=self.indices.dtype),
+            self.out_degrees(),
         )
 
     # ------------------------------------------------------------------ #
@@ -187,10 +246,15 @@ class CSRGraph:
                 f"csr|v={self.num_vertices}|e={self.num_edges}"
                 f"|w={int(self.has_weights)}".encode()
             )
-            h.update(self.indptr.tobytes())
-            h.update(self.indices.tobytes())
-            if self.weights is not None:
-                h.update(self.weights.tobytes())
+            for arr in (self.indptr, self.indices, self.weights):
+                if arr is None:
+                    continue
+                if arr.flags.c_contiguous:
+                    # buffer protocol: no `tobytes()` copy, so hashing a
+                    # file-backed graph stays O(1) in anonymous memory
+                    h.update(arr.data)
+                else:  # pragma: no cover - arrays are frozen contiguous
+                    h.update(arr.tobytes())
             self._content_hash = h.hexdigest()
         return self._content_hash
 

@@ -3,15 +3,30 @@
 Two formats:
 
 * **edge list** — whitespace-separated ``src dst [weight]`` text lines, the
-  lingua franca of SNAP / WebGraph dumps.
+  lingua franca of SNAP / WebGraph dumps.  Reading is chunked: the file is
+  parsed in bounded blocks of lines, never slurped whole, and vertex ids
+  that exceed ``int32`` promote the CSR index dtype instead of wrapping.
 * **binary** — a compact ``.npz`` holding the CSR arrays directly, standing
   in for the Galois ``.gr`` binary format the paper loads partitions from
   ("in-memory representations of the partitions can be written to disk").
+  Version 2 records a format version and the dtype/length of every array,
+  so a truncated or corrupt file is rejected with a clear
+  :class:`~repro.errors.GraphFormatError` instead of surfacing as a shape
+  error deep in CSR validation.  Version-1 files (no dtype record) remain
+  loadable via a legacy path.
+
+For out-of-core containers (mmap-able, checksummed, chunk-built) see
+:mod:`repro.graph.store`.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
+import zipfile
+import zlib
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -19,9 +34,19 @@ from repro.errors import GraphFormatError
 from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
 
-__all__ = ["save_edgelist", "load_edgelist", "save_binary", "load_binary"]
+__all__ = [
+    "save_edgelist",
+    "load_edgelist",
+    "iter_edgelist_chunks",
+    "save_binary",
+    "load_binary",
+]
 
-_MAGIC = "repro-csr-v1"
+_MAGIC_V1 = "repro-csr-v1"
+_MAGIC_V2 = "repro-csr-v2"
+
+#: Lines parsed per block when streaming an edge list.
+_EDGELIST_CHUNK_LINES = 1 << 19
 
 
 def save_edgelist(graph: CSRGraph, path: str | os.PathLike) -> None:
@@ -35,6 +60,72 @@ def save_edgelist(graph: CSRGraph, path: str | os.PathLike) -> None:
         np.savetxt(path, data, fmt="%d")
 
 
+def _parse_lines(lines: list, path) -> np.ndarray:
+    try:
+        return np.loadtxt(lines, dtype=np.int64, ndmin=2)
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: malformed edge-list line: {exc}") from exc
+
+
+def iter_edgelist_chunks(
+    path: str | os.PathLike,
+    weighted: Optional[bool] = None,
+    chunk_lines: int = _EDGELIST_CHUNK_LINES,
+) -> Iterator[Tuple[np.ndarray, ...]]:
+    """Stream an edge list as bounded ``(src, dst[, weights])`` blocks.
+
+    Parses at most ``chunk_lines`` lines at a time, so peak memory is
+    O(chunk) regardless of file size — the chunks feed either
+    :func:`load_edgelist` (in-RAM build) or
+    :func:`repro.graph.store.from_edge_chunks` (out-of-core build)
+    unchanged.  ``weighted=None`` auto-detects a third column from the
+    first non-comment line; the column count must then hold for the whole
+    file.
+    """
+    buf: list = []
+    cols: Optional[int] = None
+    with open(path, "r") as f:
+        for line in f:
+            s = line.strip()
+            if not s or s.startswith("#"):
+                continue
+            buf.append(s)
+            if len(buf) >= chunk_lines:
+                data = _parse_lines(buf, path)
+                buf = []
+                cols, weighted = _check_cols(data, cols, weighted, path)
+                yield _split_cols(data, weighted)
+        if buf:
+            data = _parse_lines(buf, path)
+            cols, weighted = _check_cols(data, cols, weighted, path)
+            yield _split_cols(data, weighted)
+
+
+def _check_cols(data, cols, weighted, path):
+    if cols is None:
+        cols = data.shape[1]
+        if cols not in (2, 3):
+            raise GraphFormatError(f"expected 2 or 3 columns, found {cols}")
+        if weighted is None:
+            weighted = cols == 3
+        if weighted and cols < 3:
+            raise GraphFormatError(
+                "weighted load requested but file has 2 columns"
+            )
+    elif data.shape[1] != cols:
+        raise GraphFormatError(
+            f"{path}: inconsistent column count "
+            f"({data.shape[1]} after {cols})"
+        )
+    return cols, weighted
+
+
+def _split_cols(data, weighted):
+    if weighted:
+        return data[:, 0], data[:, 1], data[:, 2]
+    return data[:, 0], data[:, 1]
+
+
 def load_edgelist(
     path: str | os.PathLike,
     num_vertices: int | None = None,
@@ -43,50 +134,121 @@ def load_edgelist(
 ) -> CSRGraph:
     """Read an edge list; ``#``-prefixed comment lines are skipped.
 
-    ``weighted=None`` auto-detects a third column.
+    ``weighted=None`` auto-detects a third column.  The file is parsed in
+    bounded chunks (see :func:`iter_edgelist_chunks`); vertex ids beyond
+    ``int32`` promote the index dtype rather than overflowing.
     """
-    import warnings
-
-    with warnings.catch_warnings():
-        warnings.filterwarnings("ignore", message=".*no data.*")
-        data = np.loadtxt(path, comments="#", dtype=np.int64, ndmin=2)
-    if data.size == 0:
+    srcs, dsts, ws = [], [], []
+    for chunk in iter_edgelist_chunks(path, weighted=weighted):
+        srcs.append(chunk[0])
+        dsts.append(chunk[1])
+        if len(chunk) == 3:
+            ws.append(chunk[2])
+    if not srcs:
         if num_vertices is None:
             raise GraphFormatError("empty edge list with unknown vertex count")
         return from_edges(
             np.empty(0, np.int64), np.empty(0, np.int64),
             num_vertices=num_vertices, name=name,
         )
-    cols = data.shape[1]
-    if cols not in (2, 3):
-        raise GraphFormatError(f"expected 2 or 3 columns, found {cols}")
-    if weighted is None:
-        weighted = cols == 3
-    if weighted and cols < 3:
-        raise GraphFormatError("weighted load requested but file has 2 columns")
-    w = data[:, 2] if weighted else None
-    return from_edges(data[:, 0], data[:, 1], num_vertices=num_vertices, weights=w, name=name)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    w = np.concatenate(ws) if ws else None
+    return from_edges(src, dst, num_vertices=num_vertices, weights=w, name=name)
 
 
 def save_binary(graph: CSRGraph, path: str | os.PathLike) -> None:
-    """Write the CSR arrays as a compressed ``.npz``."""
+    """Write the CSR arrays as a compressed ``.npz`` (format version 2).
+
+    The archive records each array's dtype and length alongside the data,
+    and is written via a temporary file + atomic rename so a crash
+    mid-write never leaves a torn archive behind.
+    """
+    meta = {
+        "version": 2,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "dtypes": {
+            "indptr": graph.indptr.dtype.str,
+            "indices": graph.indices.dtype.str,
+            "weights": graph.weights.dtype.str if graph.has_weights else None,
+        },
+    }
     payload = {
-        "magic": np.array(_MAGIC),
+        "magic": np.array(_MAGIC_V2),
+        "meta": np.array(json.dumps(meta, sort_keys=True)),
         "indptr": graph.indptr,
         "indices": graph.indices,
         "name": np.array(graph.name),
     }
     if graph.has_weights:
         payload["weights"] = graph.weights
-    np.savez_compressed(path, **payload)
+    path = os.fspath(path)
+    d = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=d
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            np.savez_compressed(f, **payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def load_binary(path: str | os.PathLike) -> CSRGraph:
-    """Read a graph written by :func:`save_binary`."""
-    with np.load(path, allow_pickle=False) as z:
-        if "magic" not in z or str(z["magic"]) != _MAGIC:
-            raise GraphFormatError(f"{path} is not a repro binary graph")
-        weights = z["weights"] if "weights" in z else None
-        return CSRGraph(
-            z["indptr"], z["indices"], weights, name=str(z["name"])
-        )
+    """Read a graph written by :func:`save_binary`.
+
+    Rejects truncated or corrupt archives with a clear
+    :class:`GraphFormatError`; files written by the version-1 format
+    (no dtype record) load through a legacy path.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as z:
+            if "magic" not in z:
+                raise GraphFormatError(f"{path} is not a repro binary graph")
+            magic = str(z["magic"])
+            if magic == _MAGIC_V1:
+                # legacy files predate the dtype/length record
+                weights = z["weights"] if "weights" in z else None
+                return CSRGraph(
+                    z["indptr"], z["indices"], weights, name=str(z["name"])
+                )
+            if magic != _MAGIC_V2:
+                raise GraphFormatError(f"{path} is not a repro binary graph")
+            meta = json.loads(str(z["meta"]))
+            if meta.get("version") != 2:
+                raise GraphFormatError(
+                    f"{path}: unsupported binary format version "
+                    f"{meta.get('version')!r}"
+                )
+            indptr = z["indptr"]
+            indices = z["indices"]
+            weights = z["weights"] if meta["dtypes"]["weights"] else None
+            expect = {
+                "indptr": (meta["num_vertices"] + 1, meta["dtypes"]["indptr"]),
+                "indices": (meta["num_edges"], meta["dtypes"]["indices"]),
+            }
+            if weights is not None:
+                expect["weights"] = (meta["num_edges"], meta["dtypes"]["weights"])
+            arrays = {"indptr": indptr, "indices": indices}
+            if weights is not None:
+                arrays["weights"] = weights
+            for key, (length, dtype) in expect.items():
+                a = arrays[key]
+                if len(a) != length or a.dtype.str != dtype:
+                    raise GraphFormatError(
+                        f"{path}: {key} does not match its dtype/length "
+                        f"record (file truncated or corrupted)"
+                    )
+            return CSRGraph(indptr, indices, weights, name=str(z["name"]))
+    except GraphFormatError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, EOFError, KeyError, ValueError, OSError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise GraphFormatError(
+            f"{path}: truncated or corrupt binary graph ({exc})"
+        ) from exc

@@ -1,0 +1,572 @@
+"""Versioned, checksummed on-disk CSR container with an mmap-backed view.
+
+The paper's headline inputs (clueweb12, wdc12) reach 64B edges — far past
+what a worker process can hold as in-RAM numpy arrays.  This module gives
+the pipeline an out-of-core data path:
+
+* :func:`write_csr_store` serializes a :class:`~repro.graph.csr.CSRGraph`
+  into a single binary container with a versioned header and per-section
+  CRC32 checksums.
+* :func:`open_csr` re-opens a container either fully in RAM
+  (``mode="ram"``, checksum-verified by default) or as ``np.memmap`` views
+  (``mode="mmap"``) served behind the unmodified ``CSRGraph`` API, so
+  apps, partitioners, and both engines stream pages on demand instead of
+  paying O(|E|) resident memory.
+* :func:`from_edge_chunks` builds a container directly from a stream of
+  bounded edge blocks with an external two-pass counting sort — peak RAM
+  is O(chunk + |V|), never O(|E|) — and the result is bit-identical to
+  :func:`repro.graph.builder.from_edges` over the concatenated stream,
+  independent of the chunking.
+
+Container layout (version 1)::
+
+    [0:16)    magic  b"repro-csr-store\\n"
+    [16:20)   uint32 format version (little-endian)
+    [20:24)   uint32 JSON header length
+    [24:28)   uint32 CRC32 of the JSON header bytes
+    [28:...)  JSON header (fits inside the 4096-byte header block)
+    [4096:)   data sections, each 64-byte aligned
+
+The JSON header records ``num_vertices`` / ``num_edges`` / ``name`` plus,
+per section (``indptr`` / ``indices`` / ``weights``), its byte offset,
+length, dtype, and CRC32, and the exact ``total_bytes`` of the file.  A
+short read therefore fails loudly (size mismatch), never as a downstream
+shape error.  Writers always build a temporary file in the destination
+directory and ``os.replace`` it into place, so a crash mid-write leaves
+either the old container or nothing — never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import struct
+import tempfile
+import zlib
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import EID_DTYPE, MAX_EDGE_WEIGHT, WEIGHT_DTYPE, vid_dtype_for
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.utils import rng_from_seed
+
+__all__ = [
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "write_csr_store",
+    "open_csr",
+    "store_info",
+    "verify_store",
+    "from_edge_chunks",
+]
+
+STORE_MAGIC = b"repro-csr-store\n"
+STORE_VERSION = 1
+
+#: Fixed space reserved for magic + fixed fields + JSON header.
+_HEADER_SPACE = 4096
+#: Data sections start on multiples of this (page/cache friendly mmaps).
+_ALIGN = 64
+#: Block size (bytes) for streaming checksum / copy loops.
+_CRC_BLOCK = 1 << 22
+
+_FIXED = struct.Struct("<III")  # version, json length, json crc32
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _crc32_of_range(f, offset: int, nbytes: int) -> int:
+    """CRC32 of ``nbytes`` starting at ``offset``, read in bounded blocks."""
+    f.seek(offset)
+    crc = 0
+    remaining = nbytes
+    while remaining:
+        block = f.read(min(_CRC_BLOCK, remaining))
+        if not block:
+            raise GraphFormatError(
+                f"store truncated: expected {nbytes} bytes at offset {offset}"
+            )
+        crc = zlib.crc32(block, crc)
+        remaining -= len(block)
+    return crc & 0xFFFFFFFF
+
+
+def _plan_sections(
+    num_vertices: int,
+    num_edges: int,
+    idx_dtype: np.dtype,
+    has_weights: bool,
+) -> dict:
+    """Lay out section offsets for a container of the given shape."""
+    sections = {}
+    offset = _HEADER_SPACE
+    layout = [("indptr", np.dtype(EID_DTYPE), num_vertices + 1),
+              ("indices", np.dtype(idx_dtype), num_edges)]
+    if has_weights:
+        layout.append(("weights", np.dtype(WEIGHT_DTYPE), num_edges))
+    for sec_name, dtype, count in layout:
+        offset = _align(offset)
+        sections[sec_name] = {
+            "offset": offset,
+            "nbytes": int(count * dtype.itemsize),
+            "dtype": dtype.str,
+            "crc32": None,  # filled in at finalize time
+        }
+        offset += sections[sec_name]["nbytes"]
+    return sections
+
+
+def _finalize_store(
+    tmp_path: str,
+    path: str,
+    *,
+    num_vertices: int,
+    num_edges: int,
+    sections: dict,
+    name: str,
+) -> None:
+    """Checksum the data sections, write the header, and rename into place."""
+    total_bytes = max(
+        s["offset"] + s["nbytes"] for s in sections.values()
+    ) if sections else _HEADER_SPACE
+    with open(tmp_path, "r+b") as f:
+        for sec in sections.values():
+            sec["crc32"] = _crc32_of_range(f, sec["offset"], sec["nbytes"])
+        header = {
+            "num_vertices": int(num_vertices),
+            "num_edges": int(num_edges),
+            "has_weights": "weights" in sections,
+            "name": name,
+            "sections": sections,
+            "total_bytes": int(total_bytes),
+        }
+        payload = json.dumps(header, sort_keys=True).encode()
+        if len(payload) > _HEADER_SPACE - len(STORE_MAGIC) - _FIXED.size:
+            raise GraphFormatError("store header does not fit header block")
+        f.seek(0)
+        f.write(STORE_MAGIC)
+        f.write(_FIXED.pack(STORE_VERSION, len(payload), zlib.crc32(payload)))
+        f.write(payload)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp_path, path)
+
+
+def _tmp_store_file(path: str, total_bytes: int) -> str:
+    """Create a pre-sized temporary file next to ``path`` (same filesystem)."""
+    d = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(d, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=d
+    )
+    try:
+        os.ftruncate(fd, total_bytes)
+    finally:
+        os.close(fd)
+    return tmp_path
+
+
+def write_csr_store(graph: CSRGraph, path: str) -> dict:
+    """Serialize ``graph`` into a checksummed store container at ``path``.
+
+    Writes atomically (temp file + rename).  Returns the header dict.
+    """
+    sections = _plan_sections(
+        graph.num_vertices, graph.num_edges,
+        graph.indices.dtype, graph.has_weights,
+    )
+    total_bytes = max(s["offset"] + s["nbytes"] for s in sections.values())
+    tmp_path = _tmp_store_file(path, total_bytes)
+    try:
+        with open(tmp_path, "r+b") as f:
+            arrays = {"indptr": graph.indptr, "indices": graph.indices}
+            if graph.has_weights:
+                arrays["weights"] = graph.weights
+            for sec_name, arr in arrays.items():
+                f.seek(sections[sec_name]["offset"])
+                # bounded blocks: the source may itself be an mmap view
+                view = arr.reshape(-1).view(np.uint8)
+                step = _CRC_BLOCK
+                for i in range(0, len(view), step):
+                    f.write(view[i : i + step].tobytes())
+        _finalize_store(
+            tmp_path, path,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            sections=sections,
+            name=graph.name,
+        )
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return store_info(path)
+
+
+def _read_header(f, path: str) -> dict:
+    magic = f.read(len(STORE_MAGIC))
+    if magic != STORE_MAGIC:
+        raise GraphFormatError(f"{path!r} is not a repro CSR store (bad magic)")
+    fixed = f.read(_FIXED.size)
+    if len(fixed) != _FIXED.size:
+        raise GraphFormatError(f"{path!r}: truncated store header")
+    version, json_len, json_crc = _FIXED.unpack(fixed)
+    if version != STORE_VERSION:
+        raise GraphFormatError(
+            f"{path!r}: unsupported store version {version} "
+            f"(this build reads version {STORE_VERSION})"
+        )
+    payload = f.read(json_len)
+    if len(payload) != json_len or zlib.crc32(payload) != json_crc:
+        raise GraphFormatError(f"{path!r}: corrupt store header (CRC mismatch)")
+    return json.loads(payload)
+
+
+def store_info(path: str) -> dict:
+    """Parse and validate the store header; raises on corrupt/truncated files.
+
+    Validates magic, version, header CRC, and that the file size matches the
+    recorded ``total_bytes`` — so a short copy or interrupted download fails
+    here with a clear error rather than as a downstream shape mismatch.
+    """
+    with open(path, "rb") as f:
+        header = _read_header(f, path)
+        f.seek(0, os.SEEK_END)
+        actual = f.tell()
+    if actual != header["total_bytes"]:
+        raise GraphFormatError(
+            f"{path!r}: store truncated or padded "
+            f"({actual} bytes on disk, header records {header['total_bytes']})"
+        )
+    return header
+
+
+def verify_store(path: str) -> dict:
+    """Full verification: header + CRC32 of every data section (O(file))."""
+    header = store_info(path)
+    with open(path, "rb") as f:
+        for sec_name, sec in header["sections"].items():
+            crc = _crc32_of_range(f, sec["offset"], sec["nbytes"])
+            if crc != sec["crc32"]:
+                raise GraphFormatError(
+                    f"{path!r}: section {sec_name!r} CRC mismatch "
+                    f"(data corrupted on disk)"
+                )
+    return header
+
+
+def _section_array_ram(f, sec: dict) -> np.ndarray:
+    dtype = np.dtype(sec["dtype"])
+    f.seek(sec["offset"])
+    raw = f.read(sec["nbytes"])
+    if len(raw) != sec["nbytes"]:
+        raise GraphFormatError("store truncated mid-section")
+    return np.frombuffer(raw, dtype=dtype)
+
+
+def _section_array_mmap(path: str, sec: dict) -> np.ndarray:
+    dtype = np.dtype(sec["dtype"])
+    count = sec["nbytes"] // dtype.itemsize
+    if count == 0:
+        return np.empty(0, dtype=dtype)
+    return np.memmap(path, dtype=dtype, mode="r",
+                     offset=sec["offset"], shape=(count,))
+
+
+def open_csr(path: str, mode: str = "mmap", verify: Optional[bool] = None) -> CSRGraph:
+    """Open a store container as a :class:`CSRGraph`.
+
+    Parameters
+    ----------
+    mode:
+        ``"mmap"`` serves ``indptr``/``indices``/``weights`` as read-only
+        ``np.memmap`` views — opening is O(|V|) work and O(1) resident
+        memory; pages fault in as the algorithms touch them.  ``"ram"``
+        reads everything into ordinary arrays.
+    verify:
+        ``None`` picks the mode default: RAM loads run the full per-section
+        CRC check (the data is being read anyway), mmap opens validate the
+        header, file size, and indptr monotonicity only (an O(|E|) CRC
+        sweep would page the entire file in, defeating the point).  Pass
+        ``True``/``False`` to override either way.
+    """
+    if mode not in ("mmap", "ram"):
+        raise ValueError(f"mode must be 'mmap' or 'ram', got {mode!r}")
+    if verify is None:
+        verify = mode == "ram"
+    header = verify_store(path) if verify else store_info(path)
+    secs = header["sections"]
+    if mode == "ram":
+        with open(path, "rb") as f:
+            indptr = _section_array_ram(f, secs["indptr"])
+            indices = _section_array_ram(f, secs["indices"])
+            weights = (
+                _section_array_ram(f, secs["weights"])
+                if header["has_weights"] else None
+            )
+    else:
+        indptr = _section_array_mmap(path, secs["indptr"])
+        indices = _section_array_mmap(path, secs["indices"])
+        weights = (
+            _section_array_mmap(path, secs["weights"])
+            if header["has_weights"] else None
+        )
+    if len(indptr) != header["num_vertices"] + 1:
+        raise GraphFormatError(f"{path!r}: indptr length disagrees with header")
+    if len(indices) != header["num_edges"]:
+        raise GraphFormatError(f"{path!r}: indices length disagrees with header")
+    # O(|V|) structural check — cheap even on mmap (indptr is the small
+    # section) and catches in-place tampering the header CRC cannot.
+    if len(indptr) == 0 or int(indptr[0]) != 0 or int(indptr[-1]) != len(indices):
+        raise GraphFormatError(f"{path!r}: indptr endpoints are inconsistent")
+    if np.any(np.diff(indptr) < 0):
+        raise GraphFormatError(f"{path!r}: indptr is not non-decreasing")
+    return CSRGraph.from_validated_arrays(
+        indptr, indices, weights, name=header.get("name", "")
+    )
+
+
+# --------------------------------------------------------------------- #
+# external-memory CSR construction
+# --------------------------------------------------------------------- #
+
+def _unpack_chunk(chunk) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    if len(chunk) == 2:
+        src, dst = chunk
+        w = None
+    elif len(chunk) == 3:
+        src, dst, w = chunk
+    else:
+        raise GraphFormatError(
+            "edge chunks must be (src, dst) or (src, dst, weights) tuples"
+        )
+    src = np.ascontiguousarray(src, dtype=np.int64)
+    dst = np.ascontiguousarray(dst, dtype=np.int64)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise GraphFormatError("chunk src and dst must be equal-length 1-D")
+    if w is not None:
+        w = np.ascontiguousarray(w, dtype=WEIGHT_DTYPE)
+        if w.shape != src.shape:
+            raise GraphFormatError("chunk weights must parallel src/dst")
+    return src, dst, w
+
+
+def from_edge_chunks(
+    chunks: Iterable[Sequence[np.ndarray]],
+    path: str,
+    num_vertices: Optional[int] = None,
+    name: str = "",
+    sort_window_edges: int = 1 << 22,
+    weight_seed: Optional[int] = None,
+) -> dict:
+    """Build a store container from a stream of bounded edge chunks.
+
+    ``chunks`` yields ``(src, dst)`` or ``(src, dst, weights)`` arrays; the
+    concatenation of all chunks is the edge list.  Construction is an
+    external two-pass counting sort:
+
+    1. spill the raw edges to append-only scratch files next to ``path``
+       while accumulating per-vertex out-degree counts (O(|V|) RAM);
+    2. re-read the spill in bounded blocks and scatter each edge to its
+       final CSR slot via a per-vertex write cursor (stable within a
+       block after a stable per-block sort, and across blocks because the
+       cursor only moves forward) — so edges land grouped by source in
+       original stream order;
+    3. sort each row by destination over bounded windows of at most
+       ``sort_window_edges`` edges (a single row larger than the window
+       is sorted alone).
+
+    The result is bit-identical to ``from_edges(src_all, dst_all)`` — the
+    same stable ``(src, dst)`` ordering — regardless of how the stream was
+    chunked.  Peak RAM is O(chunk + sort_window + |V|), never O(|E|).
+
+    ``weight_seed`` draws randomized integer edge weights in CSR order
+    after the sort, reproducing
+    :func:`repro.graph.transform.add_random_weights` exactly (same seed →
+    same weights as the in-RAM dataset path) without an O(|E|) array;
+    mutually exclusive with chunks that carry their own weights.
+
+    Returns the store header dict.
+    """
+    d = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(d, exist_ok=True)
+    spill_dir = tempfile.mkdtemp(
+        prefix=os.path.basename(path) + ".spill.", dir=d
+    )
+    tmp_path = None
+    try:
+        # ---- pass 1: spill edges, count degrees -------------------- #
+        counts = np.zeros(
+            num_vertices if num_vertices is not None else 1024, dtype=EID_DTYPE
+        )
+        max_id = -1
+        num_edges = 0
+        has_weights: Optional[bool] = None
+        src_f = open(os.path.join(spill_dir, "src.i64"), "wb")
+        dst_f = open(os.path.join(spill_dir, "dst.i64"), "wb")
+        w_f = open(os.path.join(spill_dir, "w.u32"), "wb")
+        try:
+            for chunk in chunks:
+                src, dst, w = _unpack_chunk(chunk)
+                if has_weights is None:
+                    has_weights = w is not None
+                elif has_weights != (w is not None):
+                    raise GraphFormatError(
+                        "all chunks must agree on whether edges are weighted"
+                    )
+                if len(src) == 0:
+                    continue
+                lo = min(int(src.min()), int(dst.min()))
+                hi = max(int(src.max()), int(dst.max()))
+                if lo < 0:
+                    raise GraphFormatError("negative vertex id in edge chunk")
+                if num_vertices is not None and hi >= num_vertices:
+                    raise GraphFormatError(
+                        f"vertex id {hi} exceeds num_vertices={num_vertices}"
+                    )
+                max_id = max(max_id, hi)
+                bc = np.bincount(src)
+                if len(bc) > len(counts):
+                    grown = np.zeros(
+                        max(len(bc), 2 * len(counts)), dtype=EID_DTYPE
+                    )
+                    grown[: len(counts)] = counts
+                    counts = grown
+                counts[: len(bc)] += bc
+                num_edges += len(src)
+                src_f.write(src.tobytes())
+                dst_f.write(dst.tobytes())
+                if w is not None:
+                    w_f.write(w.tobytes())
+        finally:
+            src_f.close()
+            dst_f.close()
+            w_f.close()
+        if has_weights is None:
+            has_weights = False
+        if weight_seed is not None and has_weights:
+            raise GraphFormatError(
+                "weight_seed and per-chunk weights are mutually exclusive"
+            )
+        store_weights = has_weights or weight_seed is not None
+        if num_vertices is None:
+            num_vertices = max_id + 1
+
+        indptr = np.zeros(num_vertices + 1, dtype=EID_DTYPE)
+        np.cumsum(counts[:num_vertices], out=indptr[1:])
+
+        idx_dtype = vid_dtype_for(num_vertices)
+        sections = _plan_sections(num_vertices, num_edges, idx_dtype, store_weights)
+        total_bytes = max(s["offset"] + s["nbytes"] for s in sections.values())
+        tmp_path = _tmp_store_file(path, total_bytes)
+
+        with open(tmp_path, "r+b") as f:
+            f.seek(sections["indptr"]["offset"])
+            f.write(indptr.tobytes())
+
+        # ---- pass 2: cursor scatter into the memmapped sections ---- #
+        if num_edges:
+            mm_idx = np.memmap(
+                tmp_path, dtype=idx_dtype, mode="r+",
+                offset=sections["indices"]["offset"], shape=(num_edges,),
+            )
+            mm_w = (
+                np.memmap(
+                    tmp_path, dtype=WEIGHT_DTYPE, mode="r+",
+                    offset=sections["weights"]["offset"], shape=(num_edges,),
+                )
+                if has_weights else None
+            )
+            cursor = indptr[:-1].copy()
+            block = max(int(sort_window_edges), 1)
+            with open(os.path.join(spill_dir, "src.i64"), "rb") as sf, \
+                    open(os.path.join(spill_dir, "dst.i64"), "rb") as df, \
+                    open(os.path.join(spill_dir, "w.u32"), "rb") as wf:
+                done = 0
+                while done < num_edges:
+                    n = min(block, num_edges - done)
+                    bsrc = np.fromfile(sf, dtype=np.int64, count=n)
+                    bdst = np.fromfile(df, dtype=np.int64, count=n)
+                    bw = (
+                        np.fromfile(wf, dtype=WEIGHT_DTYPE, count=n)
+                        if has_weights else None
+                    )
+                    order = np.argsort(bsrc, kind="stable")
+                    bsrc = bsrc[order]
+                    uniq, start, cnt = np.unique(
+                        bsrc, return_index=True, return_counts=True
+                    )
+                    pos = cursor[bsrc] + (
+                        np.arange(n, dtype=EID_DTYPE) - np.repeat(start, cnt)
+                    )
+                    mm_idx[pos] = bdst[order].astype(idx_dtype)
+                    if bw is not None:
+                        mm_w[pos] = bw[order]
+                    cursor[uniq] += cnt
+                    done += n
+
+            # ---- pass 3: per-row destination sort, bounded windows - #
+            v0 = 0
+            while v0 < num_vertices:
+                # widest v1 whose window holds <= sort_window_edges edges
+                v1 = int(
+                    np.searchsorted(
+                        indptr, indptr[v0] + sort_window_edges, side="right"
+                    )
+                ) - 1
+                v1 = min(max(v1, v0 + 1), num_vertices)
+                e0, e1 = int(indptr[v0]), int(indptr[v1])
+                if e1 > e0:
+                    seg = np.array(mm_idx[e0:e1])
+                    rows = np.repeat(
+                        np.arange(v1 - v0, dtype=EID_DTYPE),
+                        np.diff(indptr[v0 : v1 + 1]),
+                    )
+                    order = np.lexsort((seg, rows))
+                    mm_idx[e0:e1] = seg[order]
+                    if mm_w is not None:
+                        wseg = np.array(mm_w[e0:e1])
+                        mm_w[e0:e1] = wseg[order]
+                v0 = v1
+            mm_idx.flush()
+            del mm_idx
+            if mm_w is not None:
+                mm_w.flush()
+                del mm_w
+
+            if weight_seed is not None:
+                # randomized weights drawn sequentially in CSR order —
+                # the same stream add_random_weights produces in RAM
+                mm_gw = np.memmap(
+                    tmp_path, dtype=WEIGHT_DTYPE, mode="r+",
+                    offset=sections["weights"]["offset"], shape=(num_edges,),
+                )
+                rng = rng_from_seed(weight_seed)
+                done = 0
+                while done < num_edges:
+                    n = min(max(int(sort_window_edges), 1), num_edges - done)
+                    mm_gw[done : done + n] = rng.integers(
+                        1, MAX_EDGE_WEIGHT + 1, size=n, dtype=np.int64
+                    ).astype(WEIGHT_DTYPE)
+                    done += n
+                mm_gw.flush()
+                del mm_gw
+
+        _finalize_store(
+            tmp_path, path,
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            sections=sections,
+            name=name,
+        )
+        tmp_path = None
+    finally:
+        if tmp_path is not None and os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        shutil.rmtree(spill_dir, ignore_errors=True)
+    return store_info(path)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import logging
 import os
+import shutil
 import tempfile
 import threading
 from collections import OrderedDict
@@ -27,7 +28,12 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.graph.csr import CSRGraph
 from repro.partition.base import PartitionedGraph
-from repro.partition.io import load_partitions, save_partitions
+from repro.partition.io import (
+    load_partition_shards,
+    load_partitions,
+    save_partition_shards,
+    save_partitions,
+)
 
 __all__ = [
     "CacheStats",
@@ -49,10 +55,13 @@ class CacheStats:
     disk_hits: int = 0
     builds: int = 0
     stores: int = 0
+    #: disk entries evicted by the ``max_disk_bytes`` LRU cap
+    pruned: int = 0
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(
-            self.memory_hits, self.disk_hits, self.builds, self.stores
+            self.memory_hits, self.disk_hits, self.builds, self.stores,
+            self.pruned,
         )
 
 
@@ -67,6 +76,12 @@ class PartitionCache:
 
     max_entries: int = 64
     cache_dir: str | None = None
+    #: byte budget for the on-disk store (None = unbounded); least
+    #: recently *used* entries are pruned after each store
+    max_disk_bytes: int | None = None
+    #: spill as per-partition shard directories (mmap on load) instead of
+    #: monolithic ``.npz`` — the out-of-core sweep path
+    spill_shards: bool = False
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -86,7 +101,8 @@ class PartitionCache:
         if not self.cache_dir:
             return None
         h, policy, P = key
-        return os.path.join(self.cache_dir, f"{h[:16]}_{policy}_{P}.npz")
+        suffix = ".shards" if self.spill_shards else ".npz"
+        return os.path.join(self.cache_dir, f"{h[:16]}_{policy}_{P}{suffix}")
 
     # ------------------------------------------------------------------ #
     def lookup_or_build(
@@ -115,11 +131,18 @@ class PartitionCache:
             if tracer is not None:
                 ev = tracer.begin("cache.disk_load", "cache", args=tr_args)
             try:
-                pg = load_partitions(path, graph)
+                if self.spill_shards:
+                    pg = load_partition_shards(path, graph)
+                else:
+                    pg = load_partitions(path, graph)
             except Exception:  # corrupt/stale file: rebuild below
                 log.warning("discarding unreadable cache file %s", path)
             else:
                 self.stats.disk_hits += 1
+                try:
+                    os.utime(path)  # LRU recency for the disk byte cap
+                except OSError:
+                    pass
                 if tracer is not None:
                     tracer.end(ev)
                     tracer.count("partition.cache.disk_hits")
@@ -152,20 +175,25 @@ class PartitionCache:
         if tracer is not None:
             ev = tracer.begin("cache.store", "cache")
         try:
-            # suffix must end in .npz or np.savez would append it and write
-            # to a different path than we later os.replace() from
-            fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp.npz"
-            )
-            os.close(fd)
-            try:
-                # uncompressed: cache files are re-read far more often
-                # than written, and decompression dominated warm loads
-                save_partitions(pg, tmp, compress=False)
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
+            if self.spill_shards:
+                # per-array shard directory, assembled under a temp name
+                # and renamed into place by save_partition_shards itself
+                save_partition_shards(pg, path)
+            else:
+                # suffix must end in .npz or np.savez would append it and
+                # write to a different path than we later os.replace() from
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), suffix=".tmp.npz"
+                )
+                os.close(fd)
+                try:
+                    # uncompressed: cache files are re-read far more often
+                    # than written, and decompression dominated warm loads
+                    save_partitions(pg, tmp, compress=False)
+                    os.replace(tmp, path)
+                finally:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
         except OSError as e:  # disk full / permissions: cache is best-effort
             log.warning("could not persist partitions to %s: %s", path, e)
             return
@@ -173,6 +201,57 @@ class PartitionCache:
         if tracer is not None:
             tracer.end(ev)
             tracer.count("partition.cache.stores")
+        self._prune_disk()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _entry_nbytes(path: str) -> int:
+        if os.path.isdir(path):
+            total = 0
+            for name in os.listdir(path):
+                try:
+                    total += os.path.getsize(os.path.join(path, name))
+                except OSError:
+                    pass
+            return total
+        return os.path.getsize(path)
+
+    def _prune_disk(self) -> None:
+        """Evict least-recently-used disk entries above ``max_disk_bytes``.
+
+        Recency is mtime: stores create entries fresh and disk hits touch
+        them, so sorting by mtime is the LRU order.  In-flight temp files
+        are skipped; racing pruners are harmless (deletion is idempotent
+        and a deleted entry is simply rebuilt on next miss).
+        """
+        if not self.cache_dir or self.max_disk_bytes is None:
+            return
+        entries = []
+        for name in os.listdir(self.cache_dir):
+            if ".tmp" in name or not name.endswith((".npz", ".shards")):
+                continue
+            p = os.path.join(self.cache_dir, name)
+            try:
+                entries.append((os.path.getmtime(p), p, self._entry_nbytes(p)))
+            except OSError:
+                continue
+        total = sum(nbytes for _, _, nbytes in entries)
+        entries.sort()
+        tracer = obs.current_tracer()
+        for _, p, nbytes in entries:
+            if total <= self.max_disk_bytes:
+                break
+            try:
+                if os.path.isdir(p):
+                    shutil.rmtree(p)
+                else:
+                    os.unlink(p)
+            except OSError:
+                continue
+            total -= nbytes
+            self.stats.pruned += 1
+            if tracer is not None:
+                tracer.count("partition.cache.pruned")
 
     # ------------------------------------------------------------------ #
     def clear_memory(self) -> None:
@@ -196,12 +275,18 @@ def get_cache() -> PartitionCache:
 
 
 def configure(
-    cache_dir: str | None = None, max_entries: int | None = None
+    cache_dir: str | None = None,
+    max_entries: int | None = None,
+    max_disk_bytes: int | None = None,
+    spill_shards: bool = False,
 ) -> PartitionCache:
     """Reconfigure the global cache (keeps accumulated stats at zero).
 
     Called by the sweep runtime's worker initializer so every worker in a
-    pool shares one on-disk store.
+    pool shares one on-disk store.  ``max_disk_bytes`` caps the on-disk
+    footprint (least-recently-used entries are pruned past it);
+    ``spill_shards`` switches the disk format to per-partition shard
+    directories that load as memmaps (the out-of-core path).
     """
     global _global_cache
     _global_cache = PartitionCache(
@@ -209,6 +294,8 @@ def configure(
             max_entries if max_entries is not None else _global_cache.max_entries
         ),
         cache_dir=cache_dir,
+        max_disk_bytes=max_disk_bytes,
+        spill_shards=spill_shards,
     )
     return _global_cache
 

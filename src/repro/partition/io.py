@@ -11,7 +11,10 @@ re-running the partitioner.
 
 from __future__ import annotations
 
+import json
 import os
+import shutil
+import tempfile
 
 import numpy as np
 
@@ -19,9 +22,15 @@ from repro.errors import GraphFormatError, PartitioningError
 from repro.graph.csr import CSRGraph
 from repro.partition.base import LocalPartition, PartitionedGraph
 
-__all__ = ["save_partitions", "load_partitions"]
+__all__ = [
+    "save_partitions",
+    "load_partitions",
+    "save_partition_shards",
+    "load_partition_shards",
+]
 
 _MAGIC = "repro-partitions-v1"
+_SHARD_MAGIC = "repro-partition-shards-v1"
 
 
 def save_partitions(
@@ -107,3 +116,132 @@ def load_partitions(
             parts=parts,
             grid=grid if grid != (0, 0) else None,
         )
+
+
+# ---------------------------------------------------------------------- #
+# sharded spill: one directory, one .npy per array, mmap on load
+# ---------------------------------------------------------------------- #
+
+def save_partition_shards(pg: PartitionedGraph, dir_path: str | os.PathLike) -> None:
+    """Write a :class:`PartitionedGraph` as a directory of per-array shards.
+
+    Unlike the monolithic ``.npz`` (whose members cannot be memory-mapped),
+    every array lands in its own ``.npy``, so :func:`load_partition_shards`
+    can serve each one through ``np.load(..., mmap_mode="r")`` — a worker
+    touching only its cell's partitions pages in only those shards, and
+    clean pages are reclaimable under memory pressure.  ``global_to_local``
+    is persisted too: rebuilding it on load costs O(|V|) *anonymous*
+    memory per partition, which is exactly what the out-of-core path must
+    avoid.
+
+    The directory is assembled under a temporary name and renamed into
+    place, so readers never observe a half-written spill.
+    """
+    dir_path = os.fspath(dir_path)
+    parent = os.path.dirname(os.path.abspath(dir_path)) or "."
+    os.makedirs(parent, exist_ok=True)
+    tmp = tempfile.mkdtemp(prefix=os.path.basename(dir_path) + ".", dir=parent)
+    try:
+        meta: dict = {
+            "magic": _SHARD_MAGIC,
+            "policy": pg.policy,
+            "num_partitions": pg.num_partitions,
+            "grid": list(pg.grid) if pg.grid else None,
+            "graph_vertices": pg.global_graph.num_vertices,
+            "graph_edges": pg.global_graph.num_edges,
+            "parts": [],
+        }
+        np.save(os.path.join(tmp, "owner.npy"), pg.vertex_owner)
+        for p in pg.parts:
+            key = f"p{p.pid}_"
+            arrays = {
+                "indptr": p.graph.indptr,
+                "indices": p.graph.indices,
+                "l2g": p.local_to_global,
+                "g2l": p.global_to_local,
+                "is_master": p.is_master,
+            }
+            if p.graph.has_weights:
+                arrays["weights"] = p.graph.weights
+            for q, idx in p.mirror_exchange.items():
+                arrays[f"mx_{q}"] = idx
+            for q, idx in p.master_exchange.items():
+                arrays[f"sx_{q}"] = idx
+            for aname, arr in arrays.items():
+                np.save(os.path.join(tmp, key + aname + ".npy"), arr)
+            meta["parts"].append({
+                "pid": p.pid,
+                "has_weights": p.graph.has_weights,
+                "mirror_exchange": sorted(p.mirror_exchange),
+                "master_exchange": sorted(p.master_exchange),
+            })
+        with open(os.path.join(tmp, "meta.json"), "w") as f:
+            json.dump(meta, f, sort_keys=True)
+        if os.path.isdir(dir_path):
+            shutil.rmtree(dir_path)
+        os.rename(tmp, dir_path)
+        tmp = None
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def load_partition_shards(
+    dir_path: str | os.PathLike, graph: CSRGraph
+) -> PartitionedGraph:
+    """Restore a sharded spill with every array served as a read-only mmap.
+
+    Local CSR graphs go through the trusted constructor (the shards were
+    written from an already-validated partitioning), so opening is O(1)
+    per array — pages fault in as the engines touch them.
+    """
+    dir_path = os.fspath(dir_path)
+    meta_path = os.path.join(dir_path, "meta.json")
+    try:
+        with open(meta_path) as f:
+            meta = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise GraphFormatError(
+            f"{dir_path} is not a readable partition shard directory ({exc})"
+        ) from exc
+    if meta.get("magic") != _SHARD_MAGIC:
+        raise GraphFormatError(f"{dir_path} is not a repro partition shard dir")
+    if (
+        meta["graph_vertices"] != graph.num_vertices
+        or meta["graph_edges"] != graph.num_edges
+    ):
+        raise PartitioningError(
+            "partition shards do not match the supplied graph"
+        )
+
+    def _mm(name: str) -> np.ndarray:
+        return np.load(os.path.join(dir_path, name + ".npy"), mmap_mode="r")
+
+    parts = []
+    for pm in meta["parts"]:
+        key = f"p{pm['pid']}_"
+        weights = _mm(key + "weights") if pm["has_weights"] else None
+        local = CSRGraph.from_validated_arrays(
+            _mm(key + "indptr"), _mm(key + "indices"), weights,
+            name=f"{graph.name}/p{pm['pid']}",
+        )
+        part = LocalPartition(
+            pid=pm["pid"],
+            graph=local,
+            local_to_global=_mm(key + "l2g"),
+            global_to_local=_mm(key + "g2l"),
+            is_master=_mm(key + "is_master"),
+        )
+        for q in pm["mirror_exchange"]:
+            part.mirror_exchange[int(q)] = _mm(f"{key}mx_{q}")
+        for q in pm["master_exchange"]:
+            part.master_exchange[int(q)] = _mm(f"{key}sx_{q}")
+        parts.append(part)
+    grid = meta["grid"]
+    return PartitionedGraph(
+        policy=meta["policy"],
+        global_graph=graph,
+        vertex_owner=np.load(os.path.join(dir_path, "owner.npy"), mmap_mode="r"),
+        parts=parts,
+        grid=tuple(grid) if grid else None,
+    )

@@ -46,6 +46,7 @@ __all__ = [
     "PartitionStatsSpec",
     "CellOutcome",
     "run_task",
+    "run_task_batch",
 ]
 
 
@@ -294,3 +295,48 @@ def run_task(spec: CellSpec | PartitionStatsSpec) -> CellOutcome:
             obs.write_chrome(own_tracer, path, process_name=f"cell {spec.key}")
             out.extra["trace_path"] = path
     return out
+
+
+def run_task_batch(
+    specs: list[CellSpec | PartitionStatsSpec],
+) -> list[CellOutcome]:
+    """Run several specs sequentially in this process under one RSS meter.
+
+    The sweep executor's ``shard_plan`` mode groups cells by dataset and
+    ships each group here, so a worker opens its (possibly mmap-backed)
+    graph once and amortizes it over the whole batch.  A
+    :class:`~repro.runtime.rss.RssSampler` spans the batch; every outcome
+    carries the worker's anonymous-RSS readings in
+    ``extra["rss"]`` (``baseline`` / ``peak`` / ``peak_increment`` /
+    ``source`` bytes), and the ambient tracer — when one is installed —
+    receives ``ooc.batches`` / ``ooc.batch_cells`` counters plus an
+    ``ooc.rss_peak`` instant with the same numbers.
+    """
+    from repro import obs
+    from repro.runtime.rss import RssSampler
+
+    sampler = RssSampler().start()
+    outcomes: list[CellOutcome] = []
+    try:
+        for spec in specs:
+            outcomes.append(run_task(spec))
+            # fold a reading in right after the cell: short-lived spikes
+            # between poll ticks would otherwise go unrecorded
+            sampler.sample_now()
+    finally:
+        sample = sampler.stop()
+    rss = {
+        "baseline_bytes": sample.baseline,
+        "peak_bytes": sample.peak,
+        "peak_increment_bytes": sample.peak_increment,
+        "source": sample.source,
+        "samples": sample.samples,
+    }
+    for out in outcomes:
+        out.extra["rss"] = rss
+    tracer = obs.current_tracer()
+    if tracer is not None:
+        tracer.count("ooc.batches")
+        tracer.count("ooc.batch_cells", len(outcomes))
+        tracer.instant("ooc.rss_peak", "ooc", args=rss)
+    return outcomes

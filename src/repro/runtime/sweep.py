@@ -32,7 +32,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from typing import Optional, Sequence
 
-from repro.runtime.cells import CellOutcome, CellSpec, PartitionStatsSpec, run_task
+from repro.runtime.cells import (
+    CellOutcome,
+    CellSpec,
+    PartitionStatsSpec,
+    run_task,
+    run_task_batch,
+)
 
 __all__ = ["SweepExecutor", "default_start_method"]
 
@@ -54,12 +60,23 @@ def _worker_init(
     cache_dir: Optional[str],
     trace_dir: Optional[str] = None,
     check=None,
+    max_disk_bytes: Optional[int] = None,
+    spill_shards: bool = False,
 ) -> None:
     from repro import obs
     from repro.partition.cache import configure, get_cache
 
-    if cache_dir is not None and get_cache().cache_dir != cache_dir:
-        configure(cache_dir=cache_dir)
+    cache = get_cache()
+    if cache_dir is not None and (
+        cache.cache_dir != cache_dir
+        or cache.max_disk_bytes != max_disk_bytes
+        or cache.spill_shards != spill_shards
+    ):
+        configure(
+            cache_dir=cache_dir,
+            max_disk_bytes=max_disk_bytes,
+            spill_shards=spill_shards,
+        )
     if trace_dir is not None and obs.active_trace_dir() != trace_dir:
         obs.configure(trace_dir=trace_dir)
     if check is not None:
@@ -95,6 +112,19 @@ class SweepExecutor:
         or a :class:`~repro.check.CheckLevel`); installed as the ambient
         level in the parent and every worker.  ``None`` leaves whatever
         level is already ambient untouched.
+    shard_plan:
+        group cells by dataset and dispatch each group as one
+        :func:`run_task_batch` — a worker opens its (possibly
+        mmap-backed) graph once per batch instead of once per cell, and
+        every outcome carries the worker's peak anonymous-RSS readings
+        (``extra["rss"]``, plus ``ooc.*`` tracer counters).  Groups are
+        split into at most ``jobs`` contiguous sub-batches so a single
+        huge dataset still fans out.  Results stay in submission order.
+    max_disk_bytes / spill_shards:
+        forwarded to :func:`repro.partition.cache.configure` in the
+        parent and every worker: a byte cap (LRU-pruned) for the shared
+        disk cache, and the per-partition shard-directory spill format
+        that loads as memmaps (the out-of-core path).
     """
 
     def __init__(
@@ -106,6 +136,9 @@ class SweepExecutor:
         trace_dir: Optional[str] = None,
         check=None,
         kernel: str = "loop",
+        shard_plan: bool = False,
+        max_disk_bytes: Optional[int] = None,
+        spill_shards: bool = False,
     ):
         self.jobs = int(jobs)
         self.cache_dir = cache_dir
@@ -118,10 +151,16 @@ class SweepExecutor:
 
             check = parse_check_level(check)
         self.check = check
+        self.shard_plan = bool(shard_plan)
+        self.max_disk_bytes = max_disk_bytes
+        self.spill_shards = bool(spill_shards)
         self._pool: Optional[ProcessPoolExecutor] = None
         # the parent process shares the same disk store so serial runs,
         # fallbacks, and pool workers all hit one set of files
-        _worker_init(cache_dir, self.trace_dir, self.check)
+        _worker_init(
+            cache_dir, self.trace_dir, self.check,
+            self.max_disk_bytes, self.spill_shards,
+        )
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "SweepExecutor":
@@ -144,7 +183,10 @@ class SweepExecutor:
                 max_workers=workers,
                 mp_context=multiprocessing.get_context(self.start_method),
                 initializer=_worker_init,
-                initargs=(self.cache_dir, self.trace_dir, self.check),
+                initargs=(
+                    self.cache_dir, self.trace_dir, self.check,
+                    self.max_disk_bytes, self.spill_shards,
+                ),
             )
         return self._pool
 
@@ -164,6 +206,8 @@ class SweepExecutor:
     ) -> list[CellOutcome]:
         """Run every spec; outcomes come back in submission order."""
         specs = [self._prepare(s) for s in specs]
+        if self.shard_plan:
+            return self._map_shard_plan(specs)
         if self.jobs <= 1 or len(specs) <= 1:
             return self._map_serial(specs)
         results: list[Optional[CellOutcome]] = [None] * len(specs)
@@ -186,6 +230,103 @@ class SweepExecutor:
                 self._log_progress(done, len(specs), out)
                 results[i] = out
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # shard_plan: batch dispatch grouped by dataset
+    # ------------------------------------------------------------------ #
+    def _shard_batches(self, specs) -> list[list[int]]:
+        """Spec indices grouped by dataset, each group split into at most
+        ``jobs`` contiguous sub-batches.
+
+        One batch = one ``run_task_batch`` call = one graph open per
+        worker.  When there are fewer datasets than workers, groups are
+        split so the pool still fills; with many datasets each gets a
+        single batch.  Deterministic: groups appear in first-submission
+        order and indices stay in submission order within a batch.
+        """
+        groups: dict[str, list[int]] = {}
+        for i, s in enumerate(specs):
+            groups.setdefault(getattr(s, "dataset", ""), []).append(i)
+        fan_out = 1
+        if self.jobs > 1 and len(groups) < self.jobs:
+            fan_out = max(1, self.jobs // len(groups))
+        batches: list[list[int]] = []
+        for idxs in groups.values():
+            k = min(fan_out, len(idxs))
+            size = (len(idxs) + k - 1) // k
+            for j in range(0, len(idxs), size):
+                batches.append(idxs[j : j + size])
+        return batches
+
+    def _map_shard_plan(self, specs) -> list[CellOutcome]:
+        if not specs:
+            return []
+        batches = self._shard_batches(specs)
+        results: list[Optional[CellOutcome]] = [None] * len(specs)
+        if self.jobs <= 1 or len(batches) <= 1:
+            done = 0
+            for idxs in batches:
+                for i, out in zip(idxs, run_task_batch([specs[i] for i in idxs])):
+                    results[i] = out
+                    done += 1
+                    self._log_progress(done, len(specs), out)
+            return results  # type: ignore[return-value]
+        try:
+            self._map_pool_batches(specs, batches, results)
+        except BrokenProcessPool:
+            remaining = [
+                idxs for idxs in batches if results[idxs[0]] is None
+            ]
+            log.warning(
+                "process pool broke (worker died); re-running %d of %d "
+                "batches serially",
+                len(remaining), len(batches),
+            )
+            self.close()
+            done = sum(1 for out in results if out is not None)
+            for idxs in remaining:
+                for i, out in zip(idxs, run_task_batch([specs[i] for i in idxs])):
+                    results[i] = out
+                    done += 1
+                    self._log_progress(done, len(specs), out)
+        return results  # type: ignore[return-value]
+
+    def _map_pool_batches(
+        self, specs, batches: list[list[int]],
+        results: list[Optional[CellOutcome]],
+    ) -> None:
+        """Scatter batch outcomes into ``results`` as they complete, so
+        finished batches survive a mid-sweep :class:`BrokenProcessPool`."""
+        pool = self._get_pool()
+        batch_of = {
+            pool.submit(run_task_batch, [specs[i] for i in idxs]): idxs
+            for idxs in batches
+        }
+        done = sum(1 for out in results if out is not None)
+        pending = set(batch_of)
+        broken: Optional[BrokenProcessPool] = None
+        try:
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    try:
+                        outs = fut.result()
+                    except BrokenProcessPool as e:
+                        broken = e
+                        continue
+                    for i, out in zip(batch_of[fut], outs):
+                        results[i] = out
+                        done += 1
+                        self._log_progress(done, len(specs), out)
+        except BaseException:
+            for fut in pending:
+                fut.cancel()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+            raise
+        if broken is not None:
+            raise broken
 
     def _map_serial(self, specs) -> list[CellOutcome]:
         results = []

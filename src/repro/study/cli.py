@@ -118,6 +118,38 @@ _EXPERIMENTS = {
 }
 
 
+def _run_ooc(args) -> int:
+    """``repro-study --ooc``: the out-of-core pipeline study + gate."""
+    import json
+
+    from repro.study.ooc import OocConfig, evaluate, run_ooc_study
+
+    cfg = OocConfig.from_env(jobs=max(args.jobs, 2))
+    if args.ooc_dir:
+        cfg.work_dir = args.ooc_dir
+    t0 = time.time()
+    report = run_ooc_study(cfg, progress=lambda msg: print(f"  {msg}"))
+    violations = evaluate(report)
+    if args.ooc_out:
+        with open(args.ooc_out, "w") as f:
+            json.dump(report.to_json(), f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"report written to {args.ooc_out}")
+    print(f"[ooc study finished in {time.time() - t0:.1f}s]")
+    if violations:
+        for v in violations:
+            print(f"VIOLATION: {v}")
+        return 1
+    print(
+        f"ooc gate OK: {report.store_bytes / 2**20:.0f} MiB graph, "
+        f"peak worker RSS {report.peak_rss_bytes / 2**20:.1f} MiB "
+        f"under the {cfg.ram_cap_mb:g} MiB cap "
+        f"(x{cfg.rss_tol:g} tol), warm mmap/ram wall "
+        f"{report.small_wall['mmap'] / report.small_wall['ram']:.2f}x"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -125,8 +157,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         choices=sorted(_EXPERIMENTS) + ["all", "list"],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate (optional with --ooc)",
+    )
+    parser.add_argument(
+        "--ooc", action="store_true",
+        help="run the out-of-core pipeline study instead of a paper "
+        "experiment: chunk-generate a graph several times the RAM cap "
+        "into an mmap store, spill partitions, and fan BFS + PageRank "
+        "out over spawn workers under a peak-RSS gate (env knobs: "
+        "REPRO_OOC_RAM_CAP_MB, REPRO_OOC_SIZE_MULT, REPRO_OOC_RSS_TOL, "
+        "REPRO_OOC_WALL_TOL; see docs/scale.md)",
+    )
+    parser.add_argument(
+        "--ooc-dir", default=None, metavar="DIR",
+        help="working directory for the --ooc store and partition cache "
+        "(default: .ooc in the current directory; reused across runs)",
+    )
+    parser.add_argument(
+        "--ooc-out", default=None, metavar="FILE",
+        help="also write the --ooc report as JSON to FILE "
+        "(the BENCH_ooc.json shape)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -165,6 +218,11 @@ def main(argv: list[str] | None = None) -> int:
         "docs/correctness.md); 'full' is for debugging sweeps, not timing",
     )
     args = parser.parse_args(argv)
+
+    if args.ooc:
+        return _run_ooc(args)
+    if args.experiment is None:
+        parser.error("an experiment name is required unless --ooc is given")
 
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

@@ -1,0 +1,304 @@
+"""Out-of-core pipeline units: mmap/ram bit-identity, blocked streaming
+kernels, the study config/gate logic, and the RSS meter.
+
+The headline acceptance run (``bench_regression.py --ooc-only``) proves
+the pipeline at scale; this suite pins the individual guarantees it
+leans on — most importantly that serving a graph through ``np.memmap``
+changes *nothing* observable: every fuzz shape, under both engines,
+must produce bit-identical labels and stats whether the store is opened
+``ram`` or ``mmap``, and the blocked frontier expansion the workers use
+must replay the unblocked elementwise order exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.apps.common import (
+    DEFAULT_BLOCK_EDGES,
+    block_edge_budget,
+    expand_frontier,
+    expand_frontier_blocks,
+    merge_touched,
+)
+from repro.comm import CommConfig
+from repro.engine import BASPEngine, BSPEngine, RunContext
+from repro.fuzz.gen import SHAPES, build_shape
+from repro.generators.chunked import build_store
+from repro.graph.csr import CSRGraph
+from repro.graph.store import open_csr, write_csr_store
+from repro.hw import bridges
+from repro.partition import partition
+from repro.runtime.rss import RssSampler, read_rss_anon
+from repro.study.ooc import OocConfig, OocReport, evaluate
+
+ENGINES = {"bsp": BSPEngine, "basp": BASPEngine}
+
+
+# --------------------------------------------------------------------- #
+# mmap vs RAM bit-identity
+# --------------------------------------------------------------------- #
+
+
+def _run(graph: CSRGraph, app_name: str, engine: str):
+    app = get_app(app_name)
+    degrees = graph.out_degrees()
+    ctx = RunContext(
+        num_global_vertices=graph.num_vertices,
+        source=int(np.argmax(degrees)) if graph.num_vertices else 0,
+        k=2,
+        global_out_degrees=degrees,
+        global_degrees=degrees,
+    )
+    pg = partition(graph, "iec", 2, cache=False)
+    eng = ENGINES[engine](
+        pg, bridges(2), app,
+        comm_config=CommConfig(update_only=True),
+        check_memory=False,
+    )
+    return eng.run(ctx)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+def test_mmap_vs_ram_bit_identical(shape, engine, tmp_path):
+    """Every fuzz shape, both engines: the storage mode must be invisible."""
+    g = build_shape(shape, np.random.default_rng(11))
+    path = str(tmp_path / "g.csr")
+    write_csr_store(g, path)
+    for app_name in ("bfs", "pr"):
+        r_ram = _run(open_csr(path, mode="ram"), app_name, engine)
+        r_mmap = _run(open_csr(path, mode="mmap"), app_name, engine)
+        np.testing.assert_array_equal(
+            r_ram.labels, r_mmap.labels, err_msg=f"{app_name} labels"
+        )
+        assert r_ram.stats.rounds == r_mmap.stats.rounds, app_name
+        assert r_ram.stats.num_messages == r_mmap.stats.num_messages
+        assert r_ram.stats.work_items == r_mmap.stats.work_items
+
+
+def test_la_kernel_cell_mmap_matches_ram(tmp_path):
+    """One LA-kernel study cell end to end through both storage modes."""
+    from repro.runtime.cells import CellSpec, SystemSpec, run_task
+
+    path = str(tmp_path / "la.csr")
+    build_store("rmat", 8, path, seed=5)
+    outcomes = {}
+    for mode in ("ram", "mmap"):
+        out = run_task(CellSpec(
+            key=(mode,),
+            system=SystemSpec.dirgl(policy="iec", execution="sync"),
+            benchmark="pr-push",
+            dataset=f"store+{mode}:{path}",
+            num_gpus=2,
+            check_memory=False,
+            kernel="la",
+        ))
+        assert out.ok, out.failure
+        outcomes[mode] = out
+    assert outcomes["ram"].labels_crc == outcomes["mmap"].labels_crc
+    assert outcomes["ram"].stats.rounds == outcomes["mmap"].stats.rounds
+
+
+# --------------------------------------------------------------------- #
+# blocked streaming kernels
+# --------------------------------------------------------------------- #
+
+
+def _frontiers(g: CSRGraph):
+    yield np.arange(g.num_vertices, dtype=np.int64)
+    yield np.arange(0, g.num_vertices, 2, dtype=np.int64)
+    yield np.empty(0, dtype=np.int64)
+
+
+@pytest.mark.parametrize("budget", [1, 3, 17, None])
+def test_expand_frontier_blocks_concatenates_to_unblocked(budget):
+    g = build_shape("rmat", np.random.default_rng(3))
+    for frontier in _frontiers(g):
+        rep, dsts, w = expand_frontier(g, frontier, with_weights=True)
+        blocks = list(
+            expand_frontier_blocks(g, frontier, with_weights=True,
+                                   max_edges=budget)
+        )
+        if len(frontier) == 0:
+            assert blocks == []
+            continue
+        # block-local rep indexes resolve to the same global sources
+        np.testing.assert_array_equal(
+            np.concatenate([blk[r] for blk, r, _, _ in blocks]),
+            frontier[rep],
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([d for _, _, d, _ in blocks]), dsts
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([bw for _, _, _, bw in blocks]), w
+        )
+        # frontier slices are contiguous and complete
+        np.testing.assert_array_equal(
+            np.concatenate([blk for blk, _, _, _ in blocks]), frontier
+        )
+        if budget is not None:
+            for blk, _, d, _ in blocks:
+                assert len(d) <= budget or len(blk) == 1
+
+
+def test_block_edge_budget_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_BLOCK_EDGES", raising=False)
+    assert block_edge_budget() == DEFAULT_BLOCK_EDGES
+    monkeypatch.setenv("REPRO_BLOCK_EDGES", "4096")
+    assert block_edge_budget() == 4096
+
+
+@pytest.mark.parametrize("app_name", ["bfs", "pr-push"])
+def test_blocked_apps_identical_to_default(monkeypatch, app_name):
+    """App labels must not depend on the block budget at all."""
+    g = build_shape("powerlaw", np.random.default_rng(8))
+    monkeypatch.delenv("REPRO_BLOCK_EDGES", raising=False)
+    base = _run(g, app_name, "bsp")
+    monkeypatch.setenv("REPRO_BLOCK_EDGES", "5")
+    blocked = _run(g, app_name, "bsp")
+    np.testing.assert_array_equal(base.labels, blocked.labels)
+    assert base.stats.rounds == blocked.stats.rounds
+    assert base.stats.work_items == blocked.stats.work_items
+
+
+def test_merge_touched():
+    assert merge_touched([]).dtype == np.int64
+    assert len(merge_touched([])) == 0
+    one = np.array([3, 1, 1])
+    assert merge_touched([one]) is one  # single part passes through
+    merged = merge_touched([np.array([3, 1]), np.array([2, 3])])
+    np.testing.assert_array_equal(merged, [1, 2, 3])
+
+
+def test_blocked_in_degrees_matches_bincount(monkeypatch):
+    g = build_shape("gnm", np.random.default_rng(5))
+    ref = np.bincount(np.asarray(g.indices), minlength=g.num_vertices)
+    monkeypatch.setattr(CSRGraph, "_SCAN_BLOCK", 3)
+    np.testing.assert_array_equal(
+        build_shape("gnm", np.random.default_rng(5)).in_degrees(), ref
+    )
+
+
+def test_content_hash_ignores_storage_mode(tmp_path):
+    g = build_shape("rmat", np.random.default_rng(2))
+    path = str(tmp_path / "g.csr")
+    write_csr_store(g, path)
+    assert (
+        g.content_hash()
+        == open_csr(path, "ram").content_hash()
+        == open_csr(path, "mmap").content_hash()
+    )
+
+
+# --------------------------------------------------------------------- #
+# study config and gate
+# --------------------------------------------------------------------- #
+
+
+def test_ooc_config_scale_sizes_the_store():
+    for cap, mult, ef in [(48.0, 4.0, 768.0), (8.0, 4.0, 768.0),
+                          (64.0, 2.0, 128.0)]:
+        cfg = OocConfig(ram_cap_mb=cap, size_multiple=mult, edge_factor=ef)
+        edges = ef * (1 << cfg.scale)
+        # 8 bytes/edge of store must reach the multiple; scale is minimal
+        assert edges * 8 >= mult * cfg.ram_cap_bytes
+        if cfg.scale > 10:
+            assert ef * (1 << (cfg.scale - 1)) * 8 < mult * cfg.ram_cap_bytes
+
+
+def test_ooc_config_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_OOC_RAM_CAP_MB", "12.5")
+    monkeypatch.setenv("REPRO_OOC_RSS_TOL", "3")
+    cfg = OocConfig.from_env(jobs=4)
+    assert cfg.ram_cap_mb == 12.5
+    assert cfg.rss_tol == 3.0
+    assert cfg.jobs == 4
+    assert cfg.wall_tol == OocConfig.wall_tol  # untouched default
+
+
+def _passing_report() -> OocReport:
+    cfg = OocConfig(ram_cap_mb=1.0, size_multiple=2.0)
+    return OocReport(
+        config=cfg,
+        store_bytes=4 * 1024 * 1024,
+        cells={
+            "bfs": {"ok": True, "failure": "", "rounds": 4,
+                    "labels_crc": 111},
+            "pr-push": {"ok": True, "failure": "", "rounds": 9,
+                        "labels_crc": 222},
+        },
+        peak_rss_bytes=512 * 1024,
+        small_wall={"ram": 1.0, "mmap": 1.1},
+    )
+
+
+def test_evaluate_passes_clean_report():
+    assert evaluate(_passing_report()) == []
+
+
+def test_evaluate_flags_each_violation():
+    r = _passing_report()
+    r.store_bytes = 1024
+    assert any("below the required" in v for v in evaluate(r))
+
+    r = _passing_report()
+    r.cells["bfs"] = {"ok": False, "failure": "sim exploded", "rounds": None,
+                      "labels_crc": None}
+    assert any("sim exploded" in v for v in evaluate(r))
+
+    r = _passing_report()
+    r.peak_rss_bytes = 2 * 1024 * 1024
+    assert any("exceeds cap" in v for v in evaluate(r))
+
+    r = _passing_report()
+    r.small_wall = {"ram": 1.0, "mmap": 2.0}
+    assert any("mmap wall" in v for v in evaluate(r))
+
+
+def test_evaluate_compares_deterministic_baseline():
+    r = _passing_report()
+    base = {"cells": {
+        "bfs": {"rounds": 4, "labels_crc": 111},
+        "pr-push": {"rounds": 9, "labels_crc": 999},
+    }}
+    vs = evaluate(r, baseline=base)
+    assert len(vs) == 1 and "labels_crc" in vs[0]
+    base["cells"].pop("bfs")
+    base["cells"]["pr-push"]["labels_crc"] = 222
+    assert any("no entry for bfs" in v for v in evaluate(r, baseline=base))
+
+
+# --------------------------------------------------------------------- #
+# RSS meter
+# --------------------------------------------------------------------- #
+
+
+def test_read_rss_anon():
+    rss, source = read_rss_anon()
+    assert rss > 0
+    assert source in ("RssAnon", "VmRSS", "ru_maxrss")
+
+
+def test_rss_sampler_sees_a_large_allocation():
+    import mmap
+
+    # A raw PRIVATE anonymous map, not np.ones: after earlier tests have
+    # grown the heap, malloc can hand back already-resident freed pages
+    # and RssAnon would not move — and mmap's MAP_SHARED default counts
+    # as RssShmem, not RssAnon.  Fresh private pages always fault in new.
+    with RssSampler(interval=0.002) as s:
+        block = mmap.mmap(
+            -1, 32 * 1024 * 1024,
+            flags=mmap.MAP_PRIVATE | mmap.MAP_ANONYMOUS,
+        )
+        block.write(b"\x01" * len(block))  # touch every page
+        s.sample_now()
+        block.close()
+    r = s.result
+    assert r is not None
+    assert r.samples >= 2
+    assert r.peak >= r.baseline
+    assert r.peak_increment >= 16 * 1024 * 1024
+    assert r.source in ("RssAnon", "VmRSS", "ru_maxrss")

@@ -1,5 +1,7 @@
 """Tests for the content-hash partition cache (memory LRU + disk store)."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -171,3 +173,89 @@ class TestGlobalCache:
         clear()
         assert len(get_cache()) == 0
         assert get_cache().stats.builds == 0
+
+
+class TestShardSpill:
+    def test_shard_round_trip(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        writer = PartitionCache(cache_dir=store, spill_shards=True)
+        builder, calls = _counting_builder("iec")
+        built = writer.lookup_or_build(g, "iec", 4, builder)
+        path = writer._disk_path(PartitionCache.key_for(g, "iec", 4))
+        assert path.endswith(".shards")
+        assert os.path.isdir(path)
+
+        reader = PartitionCache(cache_dir=store, spill_shards=True)
+        loaded = reader.lookup_or_build(g, "iec", 4, builder)
+        assert calls == [("iec", 4)]
+        assert reader.stats.disk_hits == 1
+        loaded.validate()
+        _assert_partitions_equal(built, loaded)
+
+    def test_shard_formats_do_not_collide(self, g, tmp_path):
+        """A shard cache and an npz cache in the same directory address
+        different entries, so flipping the flag never misloads."""
+        store = str(tmp_path / "pcache")
+        builder, calls = _counting_builder("iec")
+        PartitionCache(cache_dir=store, spill_shards=True).lookup_or_build(
+            g, "iec", 2, builder
+        )
+        PartitionCache(cache_dir=store).lookup_or_build(g, "iec", 2, builder)
+        assert len(calls) == 2
+
+    def test_corrupt_shard_dir_rebuilds(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        cache = PartitionCache(cache_dir=store, spill_shards=True)
+        builder, _ = _counting_builder("iec")
+        cache.lookup_or_build(g, "iec", 2, builder)
+        path = cache._disk_path(PartitionCache.key_for(g, "iec", 2))
+        for name in os.listdir(path):
+            os.unlink(os.path.join(path, name))
+
+        fresh = PartitionCache(cache_dir=store, spill_shards=True)
+        pg = fresh.lookup_or_build(g, "iec", 2, builder)
+        assert fresh.stats.disk_hits == 0
+        assert fresh.stats.builds == 1
+        pg.validate()
+
+
+class TestDiskByteCap:
+    def _entry(self, cache, g, parts):
+        return cache._disk_path(PartitionCache.key_for(g, "oec", parts))
+
+    def test_lru_prune_evicts_oldest(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        cache = PartitionCache(cache_dir=store)
+        builder, _ = _counting_builder("oec")
+        cache.lookup_or_build(g, "oec", 2, builder)
+        cache.lookup_or_build(g, "oec", 4, builder)
+        first = self._entry(cache, g, 2)
+        second = self._entry(cache, g, 4)
+        # budget: the recently-used entry fits, the stale one does not
+        cache.max_disk_bytes = os.path.getsize(second) + 64
+        os.utime(first, (1, 1))  # unambiguously least recently used
+        cache._prune_disk()
+        assert not os.path.exists(first)
+        assert os.path.exists(second)
+        assert cache.stats.pruned == 1
+
+    def test_disk_hit_refreshes_recency(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        cache = PartitionCache(cache_dir=store)
+        builder, _ = _counting_builder("oec")
+        cache.lookup_or_build(g, "oec", 2, builder)
+        first = self._entry(cache, g, 2)
+        os.utime(first, (1, 1))
+        # a fresh cache's disk hit touches the entry back to "now"
+        warm = PartitionCache(cache_dir=store)
+        warm.lookup_or_build(g, "oec", 2, builder)
+        assert os.path.getmtime(first) > 1
+
+    def test_unbounded_cache_never_prunes(self, g, tmp_path):
+        cache = PartitionCache(cache_dir=str(tmp_path / "pcache"))
+        builder, _ = _counting_builder("oec")
+        cache.lookup_or_build(g, "oec", 2, builder)
+        cache.lookup_or_build(g, "oec", 4, builder)
+        assert cache.stats.pruned == 0
+        assert os.path.exists(self._entry(cache, g, 2))
+        assert os.path.exists(self._entry(cache, g, 4))

@@ -320,3 +320,71 @@ class TestFaultRecovery:
             ex.map(specs)
         # no orphan workers grinding through the rest of the matrix
         assert ex._pool is None
+
+
+class TestShardPlan:
+    """Batch dispatch grouped by dataset: one graph open per worker batch,
+    RSS telemetry on every outcome, results bit-identical to per-cell
+    dispatch."""
+
+    @staticmethod
+    def _spec(key, bench="bfs", dataset="tiny-s"):
+        return CellSpec(
+            key=key,
+            system=SystemSpec.dirgl(policy="iec", execution="sync"),
+            benchmark=bench,
+            dataset=dataset,
+            num_gpus=2,
+            check_memory=False,
+        )
+
+    def _store_cells(self, tmp_path):
+        from repro.generators.chunked import build_store
+
+        path = str(tmp_path / "g.csr")
+        build_store("rmat", 8, path, seed=7)
+        return [
+            self._spec((b,), bench=b, dataset=f"store+mmap:{path}")
+            for b in ("bfs", "pr-push")
+        ]
+
+    def test_shard_batches_split_to_fill_pool(self):
+        ex = SweepExecutor(jobs=4, shard_plan=True)
+        specs = [self._spec(i) for i in range(4)]  # one dataset, four cells
+        batches = ex._shard_batches(specs)
+        assert len(batches) == 4
+        assert sorted(i for b in batches for i in b) == [0, 1, 2, 3]
+        # many datasets: one batch each, no splitting
+        mixed = [self._spec(0), self._spec(1, dataset="rmat24-s"), self._spec(2)]
+        grouped = SweepExecutor(jobs=2, shard_plan=True)._shard_batches(mixed)
+        assert grouped == [[0, 2], [1]]
+
+    def test_shard_plan_matches_per_cell_dispatch(
+        self, tmp_path, restore_global_cache
+    ):
+        cache_dir = str(tmp_path / "pcache")
+        with SweepExecutor(jobs=1, cache_dir=cache_dir) as ex:
+            base = ex.map(self._store_cells(tmp_path))
+        with SweepExecutor(
+            jobs=2, cache_dir=cache_dir, shard_plan=True,
+            spill_shards=True, start_method="spawn",
+        ) as ex:
+            sharded = ex.map(self._store_cells(tmp_path))
+        assert all(o.ok for o in base + sharded)
+        for a, b in zip(base, sharded):
+            assert a.key == b.key  # submission order preserved
+            assert a.labels_crc == b.labels_crc
+            assert a.stats.rounds == b.stats.rounds
+
+    def test_shard_plan_outcomes_carry_rss(self, tmp_path, restore_global_cache):
+        with SweepExecutor(
+            jobs=1, cache_dir=str(tmp_path / "pcache"), shard_plan=True,
+            spill_shards=True,
+        ) as ex:
+            outs = ex.map(self._store_cells(tmp_path))
+        assert all(o.ok for o in outs)
+        for o in outs:
+            rss = o.extra["rss"]
+            assert rss["peak_bytes"] >= rss["baseline_bytes"] >= 0
+            assert rss["peak_increment_bytes"] >= 0
+            assert rss["source"] in ("RssAnon", "VmRSS", "ru_maxrss")
