@@ -103,6 +103,13 @@ from repro.metrics.perfbaseline import (
     write_la_baseline,
     write_sweep_baseline,
 )
+from repro.serve.bench import (
+    SERVE_MIN_SPEEDUP,
+    evaluate_serve,
+    load_serve_baseline,
+    measure_serve,
+    write_serve_baseline,
+)
 from repro.study.ooc import OocConfig
 from repro.study.ooc import evaluate as ooc_evaluate
 from repro.study.ooc import run_ooc_study
@@ -112,6 +119,7 @@ BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sync.json"
 SWEEP_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sweep.json"
 LA_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_la.json"
 OOC_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_ooc.json"
+SERVE_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_serve.json"
 
 #: Worker count for the deterministic sweep check — 2 processes is enough
 #: to prove pool fan-out changes nothing, and stays CI-friendly.
@@ -268,6 +276,24 @@ def _ooc_baseline(report):
     return baseline, None
 
 
+def _serve_line(sp: dict) -> str:
+    return (
+        f"serve gate over {sp['requests']} requests: naive median "
+        f"{sp['naive_median'] * 1e3:.3f} ms / serve median "
+        f"{sp['serve_median'] * 1e3:.3f} ms = {sp['median_speedup']:.2f}x "
+        f"(gate: >= {SERVE_MIN_SPEEDUP:.1f}x; coalesced {sp['coalesced']}, "
+        f"cache hits {sp['cache_hits']}, deltas {sp['delta_runs']}, "
+        f"deterministic: {sp['deterministic']})"
+    )
+
+
+def _serve_violations(sp: dict) -> list[str]:
+    baseline = None
+    if SERVE_BASELINE_PATH.exists():
+        baseline = load_serve_baseline(SERVE_BASELINE_PATH)
+    return evaluate_serve(sp, baseline=baseline)
+
+
 def _sweep_line(sp: dict) -> str:
     return (
         f"sweep runtime on {sp['dataset']} ({sp['cells']} cells): "
@@ -344,6 +370,13 @@ def test_la_kernel(once):
     assert not violations, "\n".join(violations)
 
 
+def test_serve_gate(once):
+    sp = once(measure_serve)
+    archive("regression_serve", _serve_line(sp))
+    violations = _serve_violations(sp)
+    assert not violations, "\n".join(violations)
+
+
 def test_ooc_pipeline(once):
     report = once(lambda: run_ooc_study(OocConfig.from_env()))
     archive("regression_ooc", _ooc_line(report))
@@ -399,6 +432,13 @@ def main(argv=None) -> int:
              "bit-identical (what the CI la job runs)",
     )
     ap.add_argument(
+        "--serve-only", action="store_true",
+        help="run just the serve gate: byte-identical reports across two "
+             "runs of the seeded trace, naive/serve median latency >= "
+             "2x, deterministic metrics vs BENCH_serve.json (combine "
+             "with --update to regenerate the baseline)",
+    )
+    ap.add_argument(
         "--ooc-only", action="store_true",
         help="run just the out-of-core pipeline gate: store >= 4x the "
              "RAM cap, worker peak RSS under the cap, warm mmap wall "
@@ -406,6 +446,21 @@ def main(argv=None) -> int:
              "(combine with --update to regenerate the baseline)",
     )
     args = ap.parse_args(argv)
+
+    if args.serve_only:
+        sp = measure_serve()
+        print(_serve_line(sp))
+        if args.update:
+            write_serve_baseline(SERVE_BASELINE_PATH, sp)
+            print(f"serve baseline written to {SERVE_BASELINE_PATH}")
+            return 0
+        violations = _serve_violations(sp)
+        for v in violations:
+            print(f"REGRESSION: {v}")
+        if violations:
+            return 1
+        print("serve gate within tolerance")
+        return 0
 
     if args.ooc_only:
         report = run_ooc_study(
@@ -496,6 +551,10 @@ def main(argv=None) -> int:
         print(_la_line(la_sp))
         write_la_baseline(LA_BASELINE_PATH, la_sp)
         print(f"LA baseline written to {LA_BASELINE_PATH}")
+        serve_sp = measure_serve()
+        print(_serve_line(serve_sp))
+        write_serve_baseline(SERVE_BASELINE_PATH, serve_sp)
+        print(f"serve baseline written to {SERVE_BASELINE_PATH}")
         return 0
 
     wall_tol = args.wall_tol
@@ -534,6 +593,13 @@ def main(argv=None) -> int:
             f"{HIER_AGG_MIN:.1f}x"
         )
         print(f"REGRESSION: {violations[-1]}")
+
+    # all simulated time: the serve gate is deterministic too
+    serve_sp = measure_serve()
+    print(_serve_line(serve_sp))
+    for v in _serve_violations(serve_sp):
+        violations.append(v)
+        print(f"REGRESSION: {v}")
 
     if not args.check_only:
         la_sp = measure_la_kernel()

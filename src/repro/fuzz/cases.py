@@ -67,6 +67,12 @@ class Case:
     #: compute kernel ("loop" | "la"); defaults keep pre-kernel cases
     #: loading without a schema-version bump
     kernel: str = "loop"
+    #: timestamped mutation batches applied *after* the base leg, each
+    #: ``{"timestamp": int, "insert": [[s, d], ...], "delete": [[s, d],
+    #: ...]}`` — replayed through :class:`repro.graph.mutable.
+    #: MutableGraph` and judged by the incremental-vs-full differential;
+    #: the default keeps pre-mutation cases loading unchanged
+    mutations: list = field(default_factory=list)
     # provenance (ignored by replay)
     seed: int | None = None
     shape: str = ""
@@ -129,6 +135,23 @@ class Case:
     def load(cls, path: str) -> "Case":
         with open(path) as fh:
             return cls.from_json(fh.read())
+
+    def mutation_batches(self) -> list:
+        """The :class:`~repro.graph.mutable.EdgeBatch` list this case's
+        ``mutations`` field denotes (insert weights derive from the
+        timestamp, exactly as the serve layer applies them)."""
+        from repro.graph.mutable import EdgeBatch
+
+        batches = []
+        for m in self.mutations:
+            ins = np.asarray(m.get("insert", ()), dtype=np.int64).reshape(-1, 2)
+            dele = np.asarray(m.get("delete", ()), dtype=np.int64).reshape(-1, 2)
+            batches.append(EdgeBatch(
+                timestamp=int(m["timestamp"]),
+                insert_src=ins[:, 0], insert_dst=ins[:, 1],
+                delete_src=dele[:, 0], delete_dst=dele[:, 1],
+            ))
+        return batches
 
     @classmethod
     def from_graph(cls, graph, **kw) -> "Case":
@@ -250,4 +273,66 @@ def run_case(case: Case, check="full", use_cache: bool = True):
                 return None  # the expected missing data point
             raise
     _verify_labels(case, graph, result.labels, ctx)
+    if case.mutations and plan is None:
+        _run_mutation_leg(case, graph, result.labels, ctx, cfg, engine_cls,
+                          check, use_cache)
     return result.labels
+
+
+def _run_mutation_leg(
+    case: Case, graph, base_labels, ctx, cfg, engine_cls, check, use_cache
+) -> None:
+    """Replay the case's mutation batches and cross-check three ways.
+
+    The mutated snapshot is re-run from scratch on the same engine
+    configuration and judged against the single-machine reference; then
+    the incremental path (:mod:`repro.serve.incremental`) re-derives the
+    labels from the *base* leg's answer and must match the from-scratch
+    run **bit-for-bit** whenever it claims a delta was exact.  The source
+    vertex is pinned to the base leg's choice — incremental labels are
+    only comparable against a full run of the same query.
+    """
+    from repro.apps import get_app
+    from repro.check import use_check_level
+    from repro.engine.operator import RunContext
+    from repro.graph.mutable import MutableGraph
+    from repro.hw import bridges
+    from repro.partition import partition
+    from repro.serve.incremental import incremental_run
+
+    mg = MutableGraph(graph, name=f"{graph.name}+mut")
+    batches = case.mutation_batches()
+    for batch in batches:
+        mg.apply(batch)
+    new_graph = mg.snapshot()
+    out_deg = new_graph.out_degrees()
+    ctx2 = RunContext(
+        num_global_vertices=new_graph.num_vertices,
+        source=ctx.source,
+        k=case.k,
+        global_out_degrees=out_deg,
+        global_degrees=out_deg,
+    )
+    with use_check_level(check):
+        pg = partition(new_graph, case.policy, case.parts, cache=use_cache)
+        engine = engine_cls(
+            pg,
+            bridges(case.parts),
+            get_app(case.app, kernel=case.kernel),
+            comm_config=cfg,
+            check_memory=False,
+        )
+        full = engine.run(ctx2).labels
+    _verify_labels(case, new_graph, full, ctx2)
+    incr = incremental_run(
+        case.app, graph, new_graph, batches, base_labels, source=ctx.source
+    )
+    if incr.labels is None:
+        return  # full-recompute decision: the engine leg above is it
+    if not (np.array_equal(incr.labels, full)
+            and incr.labels.tobytes() == full.tobytes()):
+        raise CaseFailure(
+            f"{case.cell_id()}: incremental labels diverge from the "
+            f"from-scratch run after {len(batches)} mutation batch(es) "
+            f"({incr.reason})"
+        )

@@ -45,6 +45,9 @@ __all__ = ["FuzzFailure", "FuzzReport", "fuzz"]
 
 _PARTS_CHOICES = (1, 2, 3, 4, 5, 8)
 _FAULT_PROBABILITY = 0.15
+#: fraction of cells that also replay timestamped insert/delete batches
+#: through the incremental-vs-full differential (the mutation axis)
+_MUTATION_PROBABILITY = 0.35
 
 
 @dataclass
@@ -106,8 +109,14 @@ def _sample_case(seed: int, iteration: int) -> Case:
             [int(rng.integers(0, parts)), int(rng.integers(0, 6))]
         ]
     kernel = str(rng.choice(["loop", "la"]))
+    mutations = []
+    if not fault_plan and rng.random() < _MUTATION_PROBABILITY:
+        mutations = _sample_mutations(
+            rng, graph, symmetric=app_name in SYMMETRIC_APPS
+        )
     return Case.from_graph(
         graph,
+        mutations=mutations,
         app=app_name,
         policy=str(rng.choice(sorted(POLICIES))),
         parts=parts,
@@ -122,6 +131,54 @@ def _sample_case(seed: int, iteration: int) -> Case:
         shape=shape,
         note=f"seed={seed} iteration={iteration}",
     )
+
+
+def _sample_mutations(rng, graph, symmetric: bool) -> list:
+    """Draw 1–2 timestamped insert/delete batches for the mutation axis.
+
+    Deletes are sampled from edges *live at that point in the batch
+    sequence* (tracked through a shadow :class:`~repro.graph.mutable.
+    MutableGraph`, exactly as replay applies them).  Symmetric apps get
+    every insert and delete mirrored so the graph the engines see stays
+    undirected — the invariant their references assume.
+    """
+    from repro.graph.mutable import EdgeBatch, MutableGraph
+
+    n = graph.num_vertices
+    if not n:
+        return []
+    shadow = MutableGraph(graph)
+    mutations = []
+    for ts in range(1, int(rng.integers(1, 3)) + 1):
+        ins = [
+            (int(rng.integers(n)), int(rng.integers(n)))
+            for _ in range(int(rng.integers(0, 4)))
+        ]
+        live_s, live_d = shadow.edge_list()
+        live = list(zip(live_s, live_d))
+        k_del = int(rng.integers(0, 3))
+        dele = []
+        if live and k_del:
+            picks = rng.choice(len(live), size=min(k_del, len(live)),
+                               replace=False)
+            dele = [(int(live[p][0]), int(live[p][1])) for p in picks]
+        if symmetric:
+            ins = [e for u, v in ins for e in ((u, v), (v, u))]
+            dele = [e for u, v in dele for e in ((u, v), (v, u))]
+        m = {
+            "timestamp": ts,
+            "insert": [[u, v] for u, v in ins],
+            "delete": [[u, v] for u, v in dele],
+        }
+        mutations.append(m)
+        shadow.apply(EdgeBatch(
+            timestamp=ts,
+            insert_src=np.asarray([e[0] for e in ins], dtype=np.int64),
+            insert_dst=np.asarray([e[1] for e in ins], dtype=np.int64),
+            delete_src=np.asarray([e[0] for e in dele], dtype=np.int64),
+            delete_dst=np.asarray([e[1] for e in dele], dtype=np.int64),
+        ))
+    return mutations
 
 
 def fuzz(

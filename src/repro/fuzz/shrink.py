@@ -74,11 +74,18 @@ def _shrink_edges(case: Case, fails, budget) -> Case:
     return case
 
 
+def _mutation_vertices(case: Case):
+    for m in case.mutations:
+        for pair in list(m.get("insert", ())) + list(m.get("delete", ())):
+            yield from pair
+
+
 def _shrink_vertices(case: Case, fails, budget) -> Case:
-    """Drop isolated vertices and renumber densely."""
+    """Drop isolated vertices and renumber densely (mutation endpoints
+    count as used and are renumbered along with the edge list)."""
     if budget[0] <= 0:
         return case
-    used = sorted(set(case.src) | set(case.dst))
+    used = sorted(set(case.src) | set(case.dst) | set(_mutation_vertices(case)))
     n = len(used)
     if n == 0:
         candidate = replace(case, num_vertices=1, src=[], dst=[],
@@ -90,6 +97,16 @@ def _shrink_vertices(case: Case, fails, budget) -> Case:
             num_vertices=n,
             src=[remap[v] for v in case.src],
             dst=[remap[v] for v in case.dst],
+            mutations=[
+                {
+                    "timestamp": m["timestamp"],
+                    "insert": [[remap[u], remap[v]]
+                               for u, v in m.get("insert", ())],
+                    "delete": [[remap[u], remap[v]]
+                               for u, v in m.get("delete", ())],
+                }
+                for m in case.mutations
+            ],
         )
     if candidate.num_vertices >= case.num_vertices:
         return case
@@ -118,9 +135,30 @@ def _drop_fault_plan(case: Case, fails, budget) -> Case:
     return candidate if fails(candidate) else case
 
 
+def _drop_mutations(case: Case, fails, budget) -> Case:
+    """Try losing the mutation axis entirely, then batch by batch."""
+    if not case.mutations or budget[0] <= 0:
+        return case
+    candidate = replace(case, mutations=[])
+    budget[0] -= 1
+    if fails(candidate):
+        return candidate
+    i = 0
+    while i < len(case.mutations) and budget[0] > 0:
+        candidate = replace(
+            case, mutations=case.mutations[:i] + case.mutations[i + 1:]
+        )
+        budget[0] -= 1
+        if fails(candidate):
+            case = candidate
+        else:
+            i += 1
+    return case
+
+
 def _size(case: Case) -> tuple:
     return (len(case.src), case.num_vertices, case.parts,
-            len(case.fault_plan))
+            len(case.fault_plan), len(case.mutations))
 
 
 def shrink_case(case: Case, fails=None, max_attempts: int = 200) -> Case:
@@ -139,6 +177,7 @@ def shrink_case(case: Case, fails=None, max_attempts: int = 200) -> Case:
     while budget[0] > 0:
         before = _size(case)
         case = _drop_fault_plan(case, fails, budget)
+        case = _drop_mutations(case, fails, budget)
         case = _shrink_edges(case, fails, budget)
         case = _shrink_vertices(case, fails, budget)
         case = _shrink_parts(case, fails, budget)

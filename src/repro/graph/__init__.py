@@ -20,6 +20,7 @@ from repro.graph.transform import (
     make_undirected,
 )
 from repro.graph.io import load_edgelist, save_edgelist, load_binary, save_binary
+from repro.graph.mutable import EdgeBatch, MutableGraph
 from repro.graph.store import (
     from_edge_chunks,
     open_csr,
@@ -42,6 +43,8 @@ __all__ = [
     "relabel",
     "reverse",
     "make_undirected",
+    "EdgeBatch",
+    "MutableGraph",
     "load_edgelist",
     "save_edgelist",
     "load_binary",

@@ -135,6 +135,10 @@ class PartitionCache:
                     pg = load_partition_shards(path, graph)
                 else:
                     pg = load_partitions(path, graph)
+            except FileNotFoundError:
+                # a sibling worker pruned the entry between the existence
+                # check and the load: an ordinary miss, not corruption
+                log.debug("cache entry %s vanished mid-load", path)
             except Exception:  # corrupt/stale file: rebuild below
                 log.warning("discarding unreadable cache file %s", path)
             else:
@@ -160,6 +164,56 @@ class PartitionCache:
         if path:
             self._store(path, pg)
         return pg
+
+    def get(
+        self, graph: CSRGraph, policy: str, num_partitions: int
+    ) -> PartitionedGraph | None:
+        """Peek: the cached partitioning for the key, or ``None``.
+
+        Checks the in-memory LRU first, then the disk store (a hit is
+        promoted into memory and refreshes disk recency).  Never builds.
+        """
+        key = self.key_for(graph, policy, num_partitions)
+        with self._lock:
+            pg = self._lru.get(key)
+            if pg is not None:
+                self._lru.move_to_end(key)
+                self.stats.memory_hits += 1
+                return pg
+        path = self._disk_path(key)
+        if path and os.path.exists(path):
+            try:
+                if self.spill_shards:
+                    pg = load_partition_shards(path, graph)
+                else:
+                    pg = load_partitions(path, graph)
+            except Exception:
+                return None
+            self.stats.disk_hits += 1
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+            self._remember(key, pg)
+            return pg
+        return None
+
+    def put(
+        self, graph: CSRGraph, policy: str, num_partitions: int,
+        pg: PartitionedGraph,
+    ) -> None:
+        """Install an externally built partitioning under the cache key.
+
+        The serve layer's repartition-vs-patch path builds patched
+        partitionings out-of-band (reusing the previous vertex-owner
+        assignment) and plants them here so the next engine run picks
+        them up as a hit instead of re-partitioning from scratch.
+        """
+        key = self.key_for(graph, policy, num_partitions)
+        self._remember(key, pg)
+        path = self._disk_path(key)
+        if path:
+            self._store(path, pg)
 
     def _remember(self, key: tuple, pg: PartitionedGraph) -> None:
         with self._lock:
@@ -206,28 +260,45 @@ class PartitionCache:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _entry_nbytes(path: str) -> int:
-        if os.path.isdir(path):
-            total = 0
-            for name in os.listdir(path):
-                try:
-                    total += os.path.getsize(os.path.join(path, name))
-                except OSError:
-                    pass
-            return total
-        return os.path.getsize(path)
+        """Entry size in bytes; 0 when a sibling evicted it mid-walk.
+
+        Every probe is individually guarded: a shard directory can vanish
+        between ``isdir`` and ``listdir``, and a file between ``listdir``
+        and ``getsize``, when concurrent workers prune the shared store.
+        """
+        try:
+            if os.path.isdir(path):
+                total = 0
+                for name in os.listdir(path):
+                    try:
+                        total += os.path.getsize(os.path.join(path, name))
+                    except OSError:
+                        pass
+                return total
+            return os.path.getsize(path)
+        except OSError:
+            return 0
 
     def _prune_disk(self) -> None:
         """Evict least-recently-used disk entries above ``max_disk_bytes``.
 
         Recency is mtime: stores create entries fresh and disk hits touch
-        them, so sorting by mtime is the LRU order.  In-flight temp files
-        are skipped; racing pruners are harmless (deletion is idempotent
-        and a deleted entry is simply rebuilt on next miss).
+        them (an explicit ``os.utime``, because relatime/noatime mounts do
+        not update timestamps on reads), so sorting by mtime is the LRU
+        order.  In-flight temp files are skipped; racing pruners are
+        harmless — ``os.path.getmtime`` on an entry a sibling worker just
+        evicted raises ``FileNotFoundError`` and the entry is skipped,
+        deletion is idempotent, and a deleted entry is simply rebuilt on
+        the next miss.
         """
         if not self.cache_dir or self.max_disk_bytes is None:
             return
         entries = []
-        for name in os.listdir(self.cache_dir):
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:  # the whole cache dir vanished: nothing to prune
+            return
+        for name in names:
             if ".tmp" in name or not name.endswith((".npz", ".shards")):
                 continue
             p = os.path.join(self.cache_dir, name)

@@ -169,10 +169,23 @@ class SweepExecutor:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def close(self, cancel_futures: bool = True) -> None:
+        """Shut the pool down; safe to call any number of times.
+
+        ``cancel_futures=True`` drops queued-but-unstarted cells so a
+        serve-layer drain (or ``__exit__`` on an exception path) does not
+        hang behind work nobody will consume.  ``close()`` after
+        ``close()`` — and ``__exit__`` after an explicit ``close()`` —
+        are no-ops, including during interpreter shutdown where the
+        executor machinery may already be torn down.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=True, cancel_futures=cancel_futures)
+        except RuntimeError:  # interpreter shutdown: threads already gone
+            pass
 
     def _get_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

@@ -1,0 +1,244 @@
+"""Incremental re-execution: delta frontiers instead of from-scratch runs.
+
+The serving layer's hot path: when a graph mutates between two requests
+for the same analytics, most label vectors barely move, so re-deriving
+them from the previous answer is far cheaper than a full engine run.
+The catch is correctness — the repo's core contract is that every
+execution path produces *bit-identical* labels, and this module keeps
+that contract by construction:
+
+* **bfs / bfs-do / sssp** — hop/weighted distances are the unique
+  fixpoint of min-relaxation, so a label-correcting sweep over the new
+  graph seeded from inserted-edge endpoints reaches exactly the labels a
+  from-scratch run produces.  Valid only when no *load-bearing* edge was
+  deleted: a deleted edge ``(u, v, w)`` with ``dist[v] == dist[u] + w``
+  may have carried a shortest path, so those batches fall back to a full
+  recompute.  (Tightness is checked against every matching parallel edge
+  of the old graph; deletes of pairs the old graph never had cannot
+  invalidate old distances.)
+* **cc / cc-pj** — component labels (min global vertex ID) are likewise
+  a unique min-propagation fixpoint; inserts only ever merge components,
+  so min-label propagation over the symmetrized new graph seeded from
+  insert endpoints is exact.  Any *effective* delete (a pair the old
+  graph actually had) can split a component and forces a full recompute.
+* **pr / pr-push (and every other float app)** — PageRank labels are
+  path-dependent (residual thresholds, accumulation order), so no
+  incremental path can be bit-identical; the strategy is always
+  ``"full"``.  This is the incremental re-execution *contract*, not a
+  temporary limitation: exactness first, speed second (docs/serve.md).
+
+Every delta path is differentially verified against from-scratch engine
+runs across all fuzz shapes and both engines (tests/test_incremental.py,
+plus the ``repro-fuzz`` mutation axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import INF
+from repro.graph.csr import CSRGraph
+from repro.graph.mutable import EdgeBatch
+from repro.graph.transform import make_undirected
+
+__all__ = [
+    "DELTA_APPS",
+    "IncrementalResult",
+    "incremental_run",
+]
+
+#: apps with an exact delta path; everything else always recomputes
+DELTA_APPS = frozenset({"bfs", "bfs-do", "sssp", "cc", "cc-pj"})
+
+
+@dataclass(frozen=True)
+class IncrementalResult:
+    """Outcome of an incremental attempt.
+
+    ``labels is None`` means "run the engine from scratch" (``mode`` is
+    ``"full"`` and ``reason`` says why); otherwise ``labels`` is
+    bit-identical to what a from-scratch run would produce, and
+    ``work_edges`` counts the edges the delta sweep actually relaxed —
+    the quantity the serve scheduler prices the run by.
+    """
+
+    mode: str  # "delta" | "full"
+    reason: str
+    labels: np.ndarray | None = None
+    work_edges: int = 0
+    rounds: int = 0
+
+
+def _pair_keys(src: np.ndarray, dst: np.ndarray, n: int) -> np.ndarray:
+    return src.astype(np.int64) * np.int64(n) + dst.astype(np.int64)
+
+
+def _gather(batches, attr_src: str, attr_dst: str):
+    src = [np.asarray(getattr(b, attr_src), dtype=np.int64) for b in batches]
+    dst = [np.asarray(getattr(b, attr_dst), dtype=np.int64) for b in batches]
+    if not src:
+        e = np.empty(0, dtype=np.int64)
+        return e, e
+    return np.concatenate(src), np.concatenate(dst)
+
+
+def _effective_delete_mask(
+    old: CSRGraph, del_src: np.ndarray, del_dst: np.ndarray
+) -> np.ndarray:
+    """Per-old-edge mask of edges matching any deleted (src, dst) pair."""
+    if not len(del_src) or not old.num_edges:
+        return np.zeros(old.num_edges, dtype=bool)
+    n = old.num_vertices
+    keys = _pair_keys(old.edge_sources(), old.indices, n)
+    return np.isin(keys, np.unique(_pair_keys(del_src, del_dst, n)))
+
+
+def _edge_offsets(
+    starts: np.ndarray, counts: np.ndarray, total: int
+) -> np.ndarray:
+    """Flat CSR edge indices for a frontier: for each vertex with slice
+    ``[starts, starts+counts)``, the concatenation of those ranges."""
+    within = np.arange(total) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return np.repeat(starts.astype(np.int64), counts) + within
+
+
+def _relax_sweep(
+    graph: CSRGraph, dist: np.ndarray, seeds: np.ndarray, weighted: bool
+) -> tuple[np.ndarray, int, int]:
+    """Label-correcting min-relaxation from ``seeds`` to the fixpoint.
+
+    ``dist`` is int64 (INF-padded); returns the fixpoint plus the number
+    of edges relaxed and rounds taken.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    w = graph.weights if weighted else None
+    frontier = np.unique(seeds)
+    frontier = frontier[dist[frontier] < INF]
+    work = 0
+    rounds = 0
+    while len(frontier):
+        rounds += 1
+        starts = indptr[frontier]
+        counts = (indptr[frontier + 1] - starts).astype(np.int64)
+        total = int(counts.sum())
+        if not total:
+            break
+        work += total
+        offs = _edge_offsets(starts, counts, total)
+        srcs = np.repeat(frontier, counts)
+        dsts = indices[offs].astype(np.int64)
+        cand = dist[srcs] + (w[offs].astype(np.int64) if weighted else 1)
+        improved_edge = cand < dist[dsts]
+        if not improved_edge.any():
+            break
+        targets = dsts[improved_edge]
+        np.minimum.at(dist, targets, cand[improved_edge])
+        # every target that improved re-enters the frontier
+        frontier = np.unique(targets)
+    return dist, work, rounds
+
+
+def _min_label_sweep(
+    sym: CSRGraph, comp: np.ndarray, seeds: np.ndarray
+) -> tuple[np.ndarray, int, int]:
+    """Min-label propagation over a symmetric graph from ``seeds``."""
+    indptr, indices = sym.indptr, sym.indices
+    frontier = np.unique(seeds)
+    work = 0
+    rounds = 0
+    while len(frontier):
+        rounds += 1
+        starts = indptr[frontier]
+        counts = (indptr[frontier + 1] - starts).astype(np.int64)
+        total = int(counts.sum())
+        if not total:
+            break
+        work += total
+        offs = _edge_offsets(starts, counts, total)
+        srcs = np.repeat(frontier, counts)
+        dsts = indices[offs].astype(np.int64)
+        cand = comp[srcs]
+        improved_edge = cand < comp[dsts]
+        if not improved_edge.any():
+            break
+        targets = dsts[improved_edge]
+        np.minimum.at(comp, targets, cand[improved_edge])
+        frontier = np.unique(targets)
+    return comp, work, rounds
+
+
+def incremental_run(
+    app: str,
+    old_graph: CSRGraph,
+    new_graph: CSRGraph,
+    batches: tuple[EdgeBatch, ...] | list[EdgeBatch],
+    prior_labels: np.ndarray,
+    source: int = 0,
+) -> IncrementalResult:
+    """Try to derive ``app``'s labels on ``new_graph`` from
+    ``prior_labels`` (its labels on ``old_graph``) plus the mutation
+    ``batches`` between the two.
+
+    ``old_graph``/``new_graph`` are the *directed* snapshots; cc apps
+    symmetrize internally, mirroring :class:`~repro.frameworks.base.
+    Framework`.  Returns a full-recompute decision whenever exactness
+    cannot be guaranteed.
+    """
+    if app not in DELTA_APPS:
+        return IncrementalResult("full", f"{app} has no exact delta path")
+    if not batches:
+        return IncrementalResult(
+            "delta", "no pending mutations",
+            labels=np.asarray(prior_labels).copy(),
+        )
+    ins_src, ins_dst = _gather(batches, "insert_src", "insert_dst")
+    del_src, del_dst = _gather(batches, "delete_src", "delete_dst")
+
+    if app in ("cc", "cc-pj"):
+        old_sym = make_undirected(old_graph)
+        dead = _effective_delete_mask(old_sym, del_src, del_dst)
+        # the symmetric view also loses (v, u) when (u, v) is deleted
+        dead |= _effective_delete_mask(old_sym, del_dst, del_src)
+        if dead.any():
+            return IncrementalResult(
+                "full", f"{int(dead.sum())} deleted edge(s) may split "
+                "components"
+            )
+        comp = np.asarray(prior_labels).astype(np.int64)
+        seeds = np.concatenate([ins_src, ins_dst])
+        comp, work, rounds = _min_label_sweep(
+            make_undirected(new_graph), comp, seeds
+        )
+        return IncrementalResult(
+            "delta", f"{len(ins_src)} insert(s) merged", work_edges=work,
+            rounds=rounds, labels=comp.astype(prior_labels.dtype),
+        )
+
+    weighted = app == "sssp"
+    dist = np.asarray(prior_labels).astype(np.int64)
+    dead = _effective_delete_mask(old_graph, del_src, del_dst)
+    if dead.any():
+        # load-bearing check: was any deleted old edge tight?
+        e_src = old_graph.edge_sources()[dead].astype(np.int64)
+        e_dst = old_graph.indices[dead].astype(np.int64)
+        e_w = (
+            old_graph.weights[dead].astype(np.int64)
+            if weighted else np.ones(int(dead.sum()), dtype=np.int64)
+        )
+        finite = dist[e_src] < INF
+        tight = finite & (dist[e_src] + e_w == dist[e_dst])
+        if tight.any():
+            return IncrementalResult(
+                "full", f"{int(tight.sum())} deleted edge(s) lay on a "
+                "shortest path"
+            )
+    seeds = np.concatenate([ins_src, ins_dst])
+    dist, work, rounds = _relax_sweep(new_graph, dist, seeds, weighted)
+    return IncrementalResult(
+        "delta", f"{len(ins_src)} insert(s) relaxed", work_edges=work,
+        rounds=rounds, labels=dist.astype(prior_labels.dtype),
+    )

@@ -259,3 +259,99 @@ class TestDiskByteCap:
         assert cache.stats.pruned == 0
         assert os.path.exists(self._entry(cache, g, 2))
         assert os.path.exists(self._entry(cache, g, 4))
+
+
+class TestConcurrentEvictionRaces:
+    """A sibling worker can evict shared-store entries at any moment;
+    every disk probe must degrade to a miss, never an exception."""
+
+    def _warm(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        cache = PartitionCache(cache_dir=store)
+        builder, calls = _counting_builder("oec")
+        cache.lookup_or_build(g, "oec", 2, builder)
+        path = cache._disk_path(PartitionCache.key_for(g, "oec", 2))
+        return cache, builder, calls, path
+
+    def test_entry_vanishing_mid_load_is_a_clean_miss(
+        self, g, tmp_path, monkeypatch
+    ):
+        cache, builder, calls, path = self._warm(g, tmp_path)
+        cache.clear_memory()
+
+        import repro.partition.cache as mod
+
+        def vanishing_load(p, graph):
+            os.unlink(path)  # the sibling's prune wins the race
+            raise FileNotFoundError(p)
+
+        monkeypatch.setattr(mod, "load_partitions", vanishing_load)
+        pg = cache.lookup_or_build(g, "oec", 2, builder)
+        assert pg is not None
+        assert len(calls) == 2  # rebuilt, not crashed
+
+    def test_prune_skips_entry_deleted_mid_walk(
+        self, g, tmp_path, monkeypatch
+    ):
+        cache, builder, _, path = self._warm(g, tmp_path)
+        cache.lookup_or_build(g, "oec", 4, builder)
+        cache.max_disk_bytes = 1  # everything is over budget
+
+        real_getmtime = os.path.getmtime
+
+        def racing_getmtime(p):
+            if p == path and os.path.exists(p):
+                os.unlink(p)  # sibling evicts it between listdir and stat
+            return real_getmtime(p)
+
+        monkeypatch.setattr(os.path, "getmtime", racing_getmtime)
+        cache._prune_disk()  # must not raise
+        assert not os.path.exists(path)
+
+    def test_entry_nbytes_of_vanished_entry_is_zero(self, tmp_path):
+        assert PartitionCache._entry_nbytes(str(tmp_path / "gone.npz")) == 0
+
+    def test_prune_survives_cache_dir_removal(self, g, tmp_path):
+        import shutil
+
+        cache, _, _, _ = self._warm(g, tmp_path)
+        cache.max_disk_bytes = 1
+        shutil.rmtree(cache.cache_dir)
+        cache._prune_disk()  # must not raise
+
+
+class TestPutGet:
+    def test_get_returns_none_on_cold_cache(self, g):
+        assert PartitionCache().get(g, "oec", 2) is None
+
+    def test_put_then_get_round_trips(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        cache = PartitionCache(cache_dir=store)
+        pg = POLICIES["oec"](g, 2)
+        cache.put(g, "oec", 2, pg)
+        assert cache.get(g, "oec", 2) is pg  # memory hit
+        # a sibling cache sees it through the shared disk store
+        warm = PartitionCache(cache_dir=store)
+        _assert_partitions_equal(warm.get(g, "oec", 2), pg)
+        assert warm.stats.disk_hits == 1
+
+    def test_planted_entry_preempts_the_builder(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        cache = PartitionCache(cache_dir=store)
+        pg = POLICIES["oec"](g, 2)
+        cache.put(g, "oec", 2, pg)
+        builder, calls = _counting_builder("oec")
+        got = cache.lookup_or_build(g, "oec", 2, builder)
+        assert got is pg
+        assert calls == []  # the serve patch path short-circuits builds
+
+    def test_get_touches_disk_recency(self, g, tmp_path):
+        store = str(tmp_path / "pcache")
+        cache = PartitionCache(cache_dir=store)
+        pg = POLICIES["oec"](g, 2)
+        cache.put(g, "oec", 2, pg)
+        path = cache._disk_path(PartitionCache.key_for(g, "oec", 2))
+        os.utime(path, (1, 1))
+        warm = PartitionCache(cache_dir=store)
+        warm.get(g, "oec", 2)
+        assert os.path.getmtime(path) > 1

@@ -211,6 +211,31 @@ class TestSweepExecutor:
         assert ex._pool is None  # no pool was ever spun up
         assert outs[0].ok
 
+    def test_close_is_idempotent(self):
+        """Satellite regression: a second close() after close() (the
+        serve loop's shutdown can overlap __exit__) must not raise."""
+        ex = SweepExecutor(jobs=2)
+        ex.map([_cell("a"), _cell("b", bench="cc")])
+        ex.close()
+        assert ex._pool is None
+        ex.close()  # second close: no-op, no raise
+        ex.close(cancel_futures=False)
+
+    def test_exit_after_explicit_close_is_noop(self):
+        with SweepExecutor(jobs=2) as ex:
+            ex.map([_cell("a"), _cell("b", bench="cc")])
+            ex.close()
+        # __exit__ ran after close() without raising; pool stays gone
+        assert ex._pool is None
+
+    def test_map_after_close_reopens_cleanly(self):
+        ex = SweepExecutor(jobs=2)
+        ex.map([_cell("a"), _cell("b", bench="cc")])
+        ex.close()
+        outs = ex.map([_cell("c"), _cell("d", bench="cc")])
+        assert all(o.ok for o in outs)
+        ex.close()
+
     def test_engine_executor_stamped_onto_cells(self):
         ex = SweepExecutor(jobs=1, engine_executor="threads")
         cell = ex._prepare(_cell("c"))
