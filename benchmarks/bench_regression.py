@@ -114,12 +114,15 @@ from repro.study.ooc import OocConfig
 from repro.study.ooc import evaluate as ooc_evaluate
 from repro.study.ooc import run_ooc_study
 from repro.study.report import format_table
+from repro.tune import advisor_study, evaluate_advisor
+from repro.tune.dse import REGRET_GATE, AdvisorReport
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sync.json"
 SWEEP_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sweep.json"
 LA_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_la.json"
 OOC_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_ooc.json"
 SERVE_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_serve.json"
+ADVISOR_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_advisor.json"
 
 #: Worker count for the deterministic sweep check — 2 processes is enough
 #: to prove pool fan-out changes nothing, and stays CI-friendly.
@@ -304,6 +307,23 @@ def _sweep_line(sp: dict) -> str:
     )
 
 
+def _advisor_line(report) -> str:
+    n = len(report.rows)
+    return (
+        f"advisor gate over {n} (shape, app) suite rows (seed "
+        f"{report.seed}): top-1 hits {report.top1_hits}/{n}, top-3 hits "
+        f"{report.top3_hits}/{n}, max top-1 regret {report.max_regret1:.3f}x "
+        f"(gate: <= {REGRET_GATE:.2f}x)"
+    )
+
+
+def _advisor_violations(report) -> list[str]:
+    baseline = None
+    if ADVISOR_BASELINE_PATH.exists():
+        baseline = AdvisorReport.from_json(ADVISOR_BASELINE_PATH.read_text())
+    return evaluate_advisor(report, baseline=baseline)
+
+
 # --------------------------------------------------------------------------- #
 # pytest bench entry points
 # --------------------------------------------------------------------------- #
@@ -377,6 +397,13 @@ def test_serve_gate(once):
     assert not violations, "\n".join(violations)
 
 
+def test_advisor_gate(once):
+    report = once(advisor_study)
+    archive("regression_advisor", _advisor_line(report))
+    violations = _advisor_violations(report)
+    assert not violations, "\n".join(violations)
+
+
 def test_ooc_pipeline(once):
     report = once(lambda: run_ooc_study(OocConfig.from_env()))
     archive("regression_ooc", _ooc_line(report))
@@ -439,6 +466,15 @@ def main(argv=None) -> int:
              "with --update to regenerate the baseline)",
     )
     ap.add_argument(
+        "--advisor-only", action="store_true",
+        help="run just the advisor-accuracy gate: full-validation DSE "
+             "over the seeded fuzz-shape suite, top-1 regret <= "
+             f"{REGRET_GATE}x measured-best, deterministic vs "
+             "BENCH_advisor.json (combine with --update to regenerate "
+             "the baseline; entirely simulated time, so --check-only "
+             "changes nothing)",
+    )
+    ap.add_argument(
         "--ooc-only", action="store_true",
         help="run just the out-of-core pipeline gate: store >= 4x the "
              "RAM cap, worker peak RSS under the cap, warm mmap wall "
@@ -446,6 +482,21 @@ def main(argv=None) -> int:
              "(combine with --update to regenerate the baseline)",
     )
     args = ap.parse_args(argv)
+
+    if args.advisor_only:
+        report = advisor_study()
+        print(_advisor_line(report))
+        if args.update:
+            ADVISOR_BASELINE_PATH.write_text(report.to_json() + "\n")
+            print(f"advisor baseline written to {ADVISOR_BASELINE_PATH}")
+            return 0
+        violations = _advisor_violations(report)
+        for v in violations:
+            print(f"REGRESSION: {v}")
+        if violations:
+            return 1
+        print("advisor accuracy within the gate")
+        return 0
 
     if args.serve_only:
         sp = measure_serve()
@@ -551,6 +602,10 @@ def main(argv=None) -> int:
         print(_la_line(la_sp))
         write_la_baseline(LA_BASELINE_PATH, la_sp)
         print(f"LA baseline written to {LA_BASELINE_PATH}")
+        advisor_report = advisor_study()
+        print(_advisor_line(advisor_report))
+        ADVISOR_BASELINE_PATH.write_text(advisor_report.to_json() + "\n")
+        print(f"advisor baseline written to {ADVISOR_BASELINE_PATH}")
         serve_sp = measure_serve()
         print(_serve_line(serve_sp))
         write_serve_baseline(SERVE_BASELINE_PATH, serve_sp)
@@ -593,6 +648,15 @@ def main(argv=None) -> int:
             f"{HIER_AGG_MIN:.1f}x"
         )
         print(f"REGRESSION: {violations[-1]}")
+
+    # advisor gate: simulated time end-to-end, deterministic (runs
+    # before the serve gate, whose measurement leaves a torn-down spool
+    # directory configured as the process-wide partition-cache path)
+    advisor_report = advisor_study()
+    print(_advisor_line(advisor_report))
+    for v in _advisor_violations(advisor_report):
+        violations.append(v)
+        print(f"REGRESSION: {v}")
 
     # all simulated time: the serve gate is deterministic too
     serve_sp = measure_serve()

@@ -9,16 +9,17 @@ unaffected; absolute magnitudes land in the paper's ballpark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.comm.buffers import Message
 from repro.comm.router import Router
+from repro.errors import ConfigurationError
 from repro.hw.cluster import Cluster
 from repro.loadbalance.base import LoadBalancer
 
-__all__ = ["CostModel"]
+__all__ = ["CostBreakdown", "CostModel", "serialize_seconds_by_device"]
 
 #: Device bytes touched per edge traversal: an index load, a label gather,
 #: a label scatter — dominated by wasted cache-line transfers on random
@@ -32,6 +33,80 @@ BYTES_PER_VERTEX_UNIT = 16.0
 #: Host-side cost of the global termination allreduce, per participating
 #: host hop (a small latency tree).
 ALLREDUCE_HOP_S = 20e-6
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-term cost legs of a priced round, in simulated seconds.
+
+    The stable schema shared by the cost model, the partition-stats
+    estimators, and the ``repro.tune`` advisor: ``compute`` is the
+    straggler GPU's kernel time, ``sync`` the network span of the sync
+    step, ``serialize`` the worst per-device extraction + PCIe staging
+    cost, and ``overhead`` fixed per-round charges (termination
+    allreduce).  Consumers must not invent ad-hoc dict keys — extend
+    this dataclass instead.
+    """
+
+    compute: float = 0.0
+    sync: float = 0.0
+    serialize: float = 0.0
+    overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.sync + self.serialize + self.overhead
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            compute=self.compute + other.compute,
+            sync=self.sync + other.sync,
+            serialize=self.serialize + other.serialize,
+            overhead=self.overhead + other.overhead,
+        )
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        return CostBreakdown(
+            compute=self.compute * factor,
+            sync=self.sync * factor,
+            serialize=self.serialize * factor,
+            overhead=self.overhead * factor,
+        )
+
+    def legs(self) -> np.ndarray:
+        """The four legs as a fixed-order vector (calibration input)."""
+        return np.array(
+            [self.compute, self.sync, self.serialize, self.overhead], dtype=np.float64
+        )
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostBreakdown":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown CostBreakdown keys: {sorted(unknown)} (schema: {sorted(known)})"
+            )
+        return cls(**{k: float(v) for k, v in data.items()})
+
+
+def serialize_seconds_by_device(priced, num_gpus: int) -> np.ndarray:
+    """Per-device serialization seconds for a priced batch.
+
+    Device ``d`` pays extraction + host staging (d2h) for every message
+    it sends and the h2d leg for every message it receives; the batch's
+    serialize cost is the straggler device's sum.  ``priced`` is a
+    ``BatchLegTimes`` from :meth:`Router.price_batch`.
+    """
+    out = np.zeros(num_gpus, dtype=np.float64)
+    if len(priced.src) == 0:
+        return out
+    np.add.at(out, priced.src, priced.extraction + priced.d2h)
+    np.add.at(out, priced.dst, priced.h2d)
+    return out
 
 
 @dataclass
@@ -109,3 +184,41 @@ class CostModel:
         if h <= 1:
             return 1e-6
         return 2.0 * ALLREDUCE_HOP_S * float(np.ceil(np.log2(h)))
+
+    # ------------------------------------------------------------------ #
+    # composed round pricing
+    # ------------------------------------------------------------------ #
+    def price_round(
+        self,
+        frontier_degrees: np.ndarray,
+        messages: list[Message],
+        pid: int = 0,
+        extra_vertices: int = 0,
+        hierarchical: bool = False,
+    ) -> CostBreakdown:
+        """Price one engine round into the stable :class:`CostBreakdown`.
+
+        Composes the existing primitives — ``compute_time`` for the
+        straggler partition's kernel, ``price_batch`` + ``route_step``
+        for the sync step, per-device serialization via
+        :func:`serialize_seconds_by_device`, and ``allreduce_time`` for
+        the fixed round overhead.  This is the single entry point the
+        advisor and tests consume; it adds no pricing formulas of its
+        own.
+        """
+        compute = self.compute_time(pid, frontier_degrees, extra_vertices)
+        sync = 0.0
+        serialize = 0.0
+        if messages:
+            priced = self.price_batch(messages)
+            net = self.route_step(priced, hierarchical=hierarchical)
+            if len(net.eff_inter):
+                sync = float(np.max(net.eff_inter))
+            per_device = serialize_seconds_by_device(priced, len(self.cluster.gpus))
+            serialize = float(per_device.max())
+        return CostBreakdown(
+            compute=compute,
+            sync=sync,
+            serialize=serialize,
+            overhead=self.allreduce_time(),
+        )

@@ -6,6 +6,7 @@ Typical invocations::
     repro-fuzz --seed from-week-number --budget 60s --out fuzz-failures
     repro-fuzz --replay tests/cases/some_case.json
     repro-fuzz --self-test                     # planted-mutation check
+    repro-fuzz --advisor-sanity --iterations 20  # repro.tune soundness
 
 Exit codes: 0 clean, 1 failures found (cases written to ``--out``),
 2 usage error.  ``--seed from-week-number`` derives the seed from the
@@ -69,6 +70,37 @@ def _self_test() -> int:
     return 0
 
 
+def _advisor_sanity(seed: int, iterations: int) -> int:
+    """Cross-check advisor recommendations against the checker's rules.
+
+    Two passes: a clean batch that must find no unsound recommendation,
+    and a planted batch (the engine-soundness prune bypassed) where the
+    harness *must* catch at least one — proving the check is not vacuous.
+    """
+    from repro.tune.sanity import advisor_sanity
+
+    clean = advisor_sanity(seed=seed, iterations=iterations)
+    print(f"advisor-sanity: {clean.checked}/{clean.iterations} "
+          f"recommendations cross-checked, "
+          f"{len(clean.violations)} violation(s)")
+    for v in clean.violations:
+        print(f"  VIOLATION: {v}")
+    planted = advisor_sanity(seed=seed, iterations=iterations, planted=True)
+    caught = "caught" if planted.violations else "MISSED"
+    print(f"  planted-bug self-test: soundness prune bypassed -> "
+          f"{len(planted.violations)} violation(s) ({caught})")
+    if clean.violations:
+        print("advisor-sanity FAILED: the advisor recommended a "
+              "configuration the checker rejects")
+        return 1
+    if not planted.violations:
+        print("advisor-sanity FAILED: the planted advisor bug went "
+              "unnoticed — the cross-check is vacuous")
+        return 1
+    print("advisor-sanity passed: clean run sound, planted bug caught")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-fuzz",
@@ -91,12 +123,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="replay one saved case instead of fuzzing")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the harness catches planted bugs")
+    parser.add_argument("--advisor-sanity", action="store_true",
+                        help="cross-check repro.tune recommendations "
+                        "against the configuration checker (clean batch "
+                        "+ planted-bug self-test; --seed/--iterations "
+                        "control the batch)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-iteration progress")
     args = parser.parse_args(argv)
 
     if args.self_test:
         return _self_test()
+
+    if args.advisor_sanity:
+        return _advisor_sanity(args.seed, args.iterations or 20)
 
     if args.replay:
         from repro.apps import get_app

@@ -17,6 +17,7 @@ Category drives experiment selection exactly as in the paper:
 from __future__ import annotations
 
 import functools
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -277,6 +278,52 @@ def _load_store_dataset(name: str, mode: str, path: str) -> StoreDataset:
     )
 
 
+#: ``fuzz:<shape>:<seed>`` names a deterministically generated fuzzer
+#: shape (:data:`repro.fuzz.gen.SHAPES`) wrapped as a 1x-scale dataset —
+#: picklable by name, so sweep workers and the DSE validator can run
+#: advisor picks on the exact graph the features were extracted from.
+_FUZZ_PREFIX = "fuzz:"
+
+
+def _load_fuzz_dataset(name: str) -> Dataset:
+    from repro.constants import GIB
+    from repro.fuzz.gen import SHAPES, build_shape
+
+    try:
+        _, shape, seed_text = name.split(":")
+        seed = int(seed_text)
+    except ValueError:
+        raise KeyError(
+            f"malformed fuzz dataset {name!r}; expected 'fuzz:<shape>:<seed>'"
+        ) from None
+    if shape not in SHAPES:
+        raise KeyError(
+            f"unknown fuzz shape {shape!r}; known: {sorted(SHAPES)}"
+        )
+    # build_shape attaches random weights itself, from the same stream.
+    # zlib.crc32 (not hash()) keeps the salt stable across processes —
+    # sweep workers must regenerate bit-identical graphs from the name.
+    salt = zlib.crc32(shape.encode()) & 0x7FFF
+    graph = build_shape(shape, np.random.default_rng([seed, salt]))
+    stats = PaperStats(
+        num_vertices=float(graph.num_vertices),
+        num_edges=float(max(graph.num_edges, 1)),
+        max_out_degree=int(graph.out_degrees().max(initial=0)),
+        max_in_degree=int(graph.in_degrees().max(initial=0)),
+        approx_diameter=0,
+        size_gb=graph.nbytes() / GIB,
+    )
+    spec = DatasetSpec(
+        name=name,
+        paper_name=f"fuzz {shape} (seed {seed})",
+        category="fuzz",
+        kind=shape,
+        generator=lambda: build_shape(shape, np.random.default_rng([seed, salt])),
+        paper=stats,
+    )
+    return Dataset(spec=spec, graph=graph, scale_factor=1.0)
+
+
 @functools.lru_cache(maxsize=None)
 def load_dataset(name: str, weighted: bool = True) -> Dataset:
     """Generate (once; cached) and return the named stand-in dataset.
@@ -286,11 +333,14 @@ def load_dataset(name: str, weighted: bool = True) -> Dataset:
 
     Names of the form ``store+mmap:<path>`` / ``store+ram:<path>`` open an
     existing store container instead (``weighted`` is ignored — the store
-    carries whatever weights it was built with).
+    carries whatever weights it was built with).  ``fuzz:<shape>:<seed>``
+    names deterministically regenerate a fuzzer shape at 1x scale.
     """
     for prefix, mode in _STORE_PREFIXES.items():
         if name.startswith(prefix):
             return _load_store_dataset(name, mode, name[len(prefix):])
+    if name.startswith(_FUZZ_PREFIX):
+        return _load_fuzz_dataset(name)
     try:
         spec = DATASETS[name]
     except KeyError:

@@ -11,13 +11,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
+from repro.comm.buffers import Message, MessageHeader
+from repro.errors import ConfigurationError
 from repro.partition.base import PartitionedGraph
 
-__all__ = ["PartitionStats", "partition_stats"]
+__all__ = ["PartitionStats", "partition_stats", "sync_messages_for_stats"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +45,116 @@ class PartitionStats:
             round(self.static_balance, 2),
             round(self.mean_comm_partners, 1),
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; round-trips exactly through ``from_dict``."""
+        out = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            out[f.name] = list(v) if isinstance(v, tuple) else v
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionStats":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown PartitionStats keys: {sorted(unknown)} "
+                f"(schema: {sorted(known)})"
+            )
+        missing = known - set(data)
+        if missing:
+            raise ConfigurationError(f"missing PartitionStats keys: {sorted(missing)}")
+        kw = dict(data)
+        for name in (
+            "edges_per_partition",
+            "vertices_per_partition",
+            "mirrors_per_partition",
+        ):
+            kw[name] = tuple(int(x) for x in kw[name])
+        return cls(**kw)
+
+    def comm_breakdown(
+        self,
+        cost_model,
+        update_only: bool = True,
+        updated_fraction: float = 1.0,
+        hierarchical: bool = False,
+        dtype=np.float32,
+    ):
+        """Estimated :class:`~repro.engine.costmodel.CostBreakdown` for one
+        full sync round (reduce + broadcast) under this partitioning.
+
+        Builds the synthetic message batch from the recorded mirror and
+        partner counts (:func:`sync_messages_for_stats`) and prices it
+        through the *real* cost model — ``Router.price_batch`` and
+        ``route_step`` — so the estimate can never drift from what the
+        engines are charged.  Only the sync/serialize/overhead legs are
+        populated; compute depends on the app's frontier, which partition
+        stats cannot know.
+        """
+        msgs = sync_messages_for_stats(
+            self,
+            update_only=update_only,
+            updated_fraction=updated_fraction,
+            dtype=dtype,
+        )
+        return cost_model.price_round(
+            np.empty(0, dtype=np.float64), msgs, hierarchical=hierarchical
+        )
+
+
+def sync_messages_for_stats(
+    stats: PartitionStats,
+    update_only: bool = True,
+    updated_fraction: float = 1.0,
+    dtype=np.float32,
+) -> list[Message]:
+    """Synthetic one-round sync batch implied by partition statistics.
+
+    Each partition ``p`` spreads its mirror proxies evenly over
+    ``round(mean_comm_partners)`` partners chosen cyclically, sending a
+    reduce message to each and receiving the mirrored broadcast back.
+    Under update-only, the payload is ``updated_fraction`` of the
+    exchange list with a position bitset and a full extraction scan;
+    otherwise the full list ships with no scan.  Payload values are
+    uninitialized — only shapes and header fields price.
+    """
+    P = stats.num_partitions
+    partners = int(round(stats.mean_comm_partners))
+    partners = max(0, min(partners, P - 1))
+    if P <= 1 or partners == 0:
+        return []
+    msgs: list[Message] = []
+    for p in range(P):
+        mirrors = stats.mirrors_per_partition[p]
+        if mirrors <= 0:
+            continue
+        per_partner = max(1, int(round(mirrors / partners)))
+        if update_only:
+            updated = max(1, int(round(per_partner * updated_fraction)))
+            updated = min(updated, per_partner)
+        else:
+            updated = per_partner
+        for i in range(partners):
+            q = (p + 1 + i) % P
+            for phase, src, dst in (("reduce", p, q), ("broadcast", q, p)):
+                positions = None
+                scanned = 0
+                if update_only and updated < per_partner:
+                    positions = np.empty(updated, dtype=np.int32)
+                    scanned = per_partner
+                msgs.append(
+                    Message(
+                        header=MessageHeader(src=src, dst=dst, phase=phase, field="est"),
+                        values=np.empty(updated, dtype=dtype),
+                        positions=positions,
+                        exchange_len=per_partner,
+                        scanned_elements=scanned,
+                    )
+                )
+    return msgs
 
 
 def partition_stats(pg: PartitionedGraph) -> PartitionStats:

@@ -150,6 +150,31 @@ def _run_ooc(args) -> int:
     return 0
 
 
+def _run_advisor(args) -> int:
+    """``repro-study --advisor``: the advisor-accuracy study + gate."""
+    from repro.runtime.sweep import SweepExecutor
+    from repro.study.tables import advisor_table
+    from repro.tune import advisor_study, evaluate_advisor
+
+    t0 = time.time()
+    with SweepExecutor(jobs=args.jobs, cache_dir=args.cache_dir) as ex:
+        report = advisor_study(seed=args.advisor_seed, executor=ex)
+    _, text = advisor_table(report)
+    print(text)
+    if args.advisor_out:
+        with open(args.advisor_out, "w") as f:
+            f.write(report.to_json())
+            f.write("\n")
+        print(f"report written to {args.advisor_out}")
+    violations = evaluate_advisor(report)
+    print(f"[advisor study finished in {time.time() - t0:.1f}s]")
+    if violations:
+        for v in violations:
+            print(f"VIOLATION: {v}")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -160,7 +185,24 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         choices=sorted(_EXPERIMENTS) + ["all", "list"],
-        help="which table/figure to regenerate (optional with --ooc)",
+        help="which table/figure to regenerate (optional with --ooc/--advisor)",
+    )
+    parser.add_argument(
+        "--advisor", action="store_true",
+        help="run the repro.tune advisor-accuracy study instead of a "
+        "paper experiment: full-validation DSE over the seeded fuzz-shape "
+        "suite, reporting predicted-best vs. measured-best rank and "
+        "regret, gated at the same threshold as bench_regression.py "
+        "--advisor-only (see docs/tuning.md)",
+    )
+    parser.add_argument(
+        "--advisor-seed", type=int, default=None, metavar="N",
+        help="suite seed for --advisor (default: the committed gate seed)",
+    )
+    parser.add_argument(
+        "--advisor-out", default=None, metavar="FILE",
+        help="also write the --advisor report as JSON to FILE "
+        "(the BENCH_advisor.json shape)",
     )
     parser.add_argument(
         "--ooc", action="store_true",
@@ -221,8 +263,16 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.ooc:
         return _run_ooc(args)
+    if args.advisor:
+        if args.advisor_seed is None:
+            from repro.tune.dse import SUITE_SEED
+
+            args.advisor_seed = SUITE_SEED
+        return _run_advisor(args)
     if args.experiment is None:
-        parser.error("an experiment name is required unless --ooc is given")
+        parser.error(
+            "an experiment name is required unless --ooc or --advisor is given"
+        )
 
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

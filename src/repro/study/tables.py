@@ -25,7 +25,7 @@ def _executor(executor):
 
     return SweepExecutor(jobs=1)
 
-__all__ = ["table1", "table2", "table3", "table4"]
+__all__ = ["table1", "table2", "table3", "table4", "advisor_table"]
 
 
 # --------------------------------------------------------------------------- #
@@ -274,3 +274,48 @@ def table4(
             title="Table IV: static/dynamic/memory load balance (max/mean)",
         ),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Advisor accuracy — the repro.tune study table (not from the paper)
+# --------------------------------------------------------------------------- #
+def advisor_table(report):
+    """Render an :class:`repro.tune.AdvisorReport` as a study table.
+
+    One row per (shape, app): the advisor's pick, the measured best, the
+    predicted rank the measured best landed at, and the top-1/top-3
+    regret ratios (measured time of the pick over the measured best).
+    """
+    rows = [
+        [
+            r.shape,
+            r.app,
+            r.cells,
+            r.predicted_best,
+            r.measured_best,
+            r.best_rank,
+            round(r.regret1, 3),
+            round(r.regret3, 3),
+        ]
+        for r in report.rows
+    ]
+    n = len(report.rows)
+    summary = (
+        f"top-1 hits {report.top1_hits}/{n}, top-3 hits {report.top3_hits}/{n}, "
+        f"max top-1 regret {report.max_regret1:.3f}x (seed {report.seed})"
+    )
+    table = format_table(
+        [
+            "shape",
+            "app",
+            "cells",
+            "predicted best",
+            "measured best",
+            "best rank",
+            "regret@1",
+            "regret@3",
+        ],
+        rows,
+        title="Advisor accuracy: predicted vs. measured best configuration",
+    )
+    return rows, table + "\n" + summary

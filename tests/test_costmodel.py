@@ -102,3 +102,103 @@ class TestRouter:
         nbytes = r.scaled_bytes(msg(n=100_000))
         pure_pcie = r.cluster.pcie.time(nbytes)
         assert legs.d2h > 2 * pure_pcie
+
+
+class TestCostBreakdown:
+    """The stable schema shared with partition stats and repro.tune."""
+
+    def test_roundtrip(self):
+        from repro.engine.costmodel import CostBreakdown
+
+        b = CostBreakdown(compute=1.5, sync=0.25, serialize=0.125, overhead=1e-6)
+        assert CostBreakdown.from_dict(b.to_dict()) == b
+        assert b.total == pytest.approx(1.5 + 0.25 + 0.125 + 1e-6)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        from repro.engine.costmodel import CostBreakdown
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown CostBreakdown"):
+            CostBreakdown.from_dict({"compute": 1.0, "network": 2.0})
+
+    def test_add_and_scale(self):
+        from repro.engine.costmodel import CostBreakdown
+
+        a = CostBreakdown(compute=1.0, sync=2.0)
+        b = CostBreakdown(serialize=3.0, overhead=4.0)
+        assert (a + b).legs().tolist() == [1.0, 2.0, 3.0, 4.0]
+        assert a.scaled(2.0) == CostBreakdown(compute=2.0, sync=4.0)
+
+    def test_price_round_composes_primitives(self):
+        cm = CostModel(bridges(4), ALB, scale_factor=2.0)
+        deg = np.full(200, 8.0)
+        msgs = [msg(src=0, dst=2, n=500, scanned=500),
+                msg(src=1, dst=3, n=300)]
+        b = cm.price_round(deg, msgs)
+        assert b.compute == cm.compute_time(0, deg)
+        priced = cm.price_batch(msgs)
+        assert b.sync == pytest.approx(float(np.max(cm.route_step(priced).eff_inter)))
+        from repro.engine.costmodel import serialize_seconds_by_device
+
+        per_dev = serialize_seconds_by_device(priced, 4)
+        assert b.serialize == pytest.approx(float(per_dev.max()))
+        assert b.overhead == cm.allreduce_time()
+        # no messages -> zero comm legs, compute and overhead unchanged
+        empty = cm.price_round(deg, [])
+        assert empty.sync == 0.0 and empty.serialize == 0.0
+        assert empty.compute == b.compute
+
+    def test_serialize_by_device_charges_ends(self):
+        from repro.engine.costmodel import serialize_seconds_by_device
+
+        cm = CostModel(bridges(4), ALB)
+        priced = cm.price_batch([msg(src=0, dst=2, n=1000, scanned=1000)])
+        per_dev = serialize_seconds_by_device(priced, 4)
+        # sender pays extraction + d2h, receiver pays h2d, others nothing
+        assert per_dev[0] == pytest.approx(float(priced.extraction[0] + priced.d2h[0]))
+        assert per_dev[2] == pytest.approx(float(priced.h2d[0]))
+        assert per_dev[1] == 0.0 and per_dev[3] == 0.0
+
+
+class TestPartitionStatsSchema:
+    """PartitionStats <-> dict round trip + the comm_breakdown bridge."""
+
+    def _stats(self):
+        from repro.generators import rmat
+        from repro.partition import partition
+        from repro.partition.stats import partition_stats
+
+        g = rmat(8, edge_factor=6, seed=2)
+        return partition_stats(partition(g, "cvc", 4, cache=False))
+
+    def test_roundtrip(self):
+        from repro.partition.stats import PartitionStats
+
+        s = self._stats()
+        assert PartitionStats.from_dict(s.to_dict()) == s
+
+    def test_from_dict_rejects_unknown_and_missing(self):
+        from repro.errors import ConfigurationError
+        from repro.partition.stats import PartitionStats
+
+        d = self._stats().to_dict()
+        d["bogus"] = 1
+        with pytest.raises(ConfigurationError, match="unknown PartitionStats"):
+            PartitionStats.from_dict(d)
+        del d["bogus"], d["policy"]
+        with pytest.raises(ConfigurationError, match="missing PartitionStats"):
+            PartitionStats.from_dict(d)
+
+    def test_comm_breakdown_prices_through_cost_model(self):
+        from repro.partition.stats import sync_messages_for_stats
+
+        s = self._stats()
+        cm = CostModel(bridges(4), ALB, scale_factor=10.0)
+        b = s.comm_breakdown(cm, update_only=True, updated_fraction=0.5)
+        assert b.compute == 0.0  # stats cannot know the app's frontier
+        assert b.sync > 0.0 and b.serialize > 0.0
+        ref = cm.price_round(
+            np.empty(0),
+            sync_messages_for_stats(s, update_only=True, updated_fraction=0.5),
+        )
+        assert b == ref
