@@ -54,6 +54,14 @@ Three guards, two committed baselines (``benchmarks/BENCH_sync.json``,
   ``REPRO_OOC_RSS_TOL`` / ``REPRO_OOC_WALL_TOL`` override; the
   deterministic comparison is skipped when the env knobs change the
   graph scale — docs/scale.md).
+* the **GNN placement gate** (``--gnn-only``, baseline
+  ``benchmarks/BENCH_gnn.json``) — the ``repro.gnnflow`` feature-gather
+  study over the seeded fuzz-shape suite x IEC/OEC/HVC/CVC x placement
+  treatments, run serially and with ``--jobs 2`` (reports must be
+  byte-identical): the hot-vertex buffer must cut priced host->device
+  feature bytes >= 2x on the powerlaw shape for every policy, never
+  increase them anywhere, and every deterministic counter must match
+  the baseline (docs/gnnflow.md).
 
 Usage::
 
@@ -74,6 +82,12 @@ import pathlib
 import sys
 
 from benchmarks.conftest import archive
+from repro.gnnflow import (
+    H2D_REDUCTION_GATE,
+    GnnReport,
+    evaluate_gnn,
+    gnn_study,
+)
 from repro.metrics.perfbaseline import (
     HIER_AGG_MIN,
     LA_KERNEL_MIN_SPEEDUP,
@@ -123,6 +137,7 @@ LA_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_la.json"
 OOC_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_ooc.json"
 SERVE_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_serve.json"
 ADVISOR_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_advisor.json"
+GNN_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_gnn.json"
 
 #: Worker count for the deterministic sweep check — 2 processes is enough
 #: to prove pool fan-out changes nothing, and stays CI-friendly.
@@ -317,6 +332,49 @@ def _advisor_line(report) -> str:
     )
 
 
+def _gnn_study_checked() -> GnnReport:
+    """The placement study, run serially and with ``--jobs 2``.
+
+    The two reports must be byte-identical — the gate pins gather
+    determinism across the process pool, not just within one process.
+    """
+    from repro.runtime.sweep import SweepExecutor
+
+    serial = gnn_study()
+    with SweepExecutor(jobs=SWEEP_CHECK_JOBS) as ex:
+        pooled = gnn_study(executor=ex)
+    if serial.to_json() != pooled.to_json():
+        raise AssertionError(
+            f"gnn study report differs between serial and "
+            f"--jobs {SWEEP_CHECK_JOBS} runs"
+        )
+    return serial
+
+
+def _gnn_line(report) -> str:
+    gate = [
+        r for r in report.rows
+        if r.shape == "powerlaw" and r.placement in ("plain", "cache")
+    ]
+    plain = sum(r.h2d_bytes for r in gate if r.placement == "plain")
+    cached = sum(r.h2d_bytes for r in gate if r.placement == "cache")
+    ratio = plain / max(cached, 1e-12)
+    return (
+        f"gnn gate over {len(report.rows)} placement cells (seed "
+        f"{report.seed}, {report.platform}): powerlaw H2D feature bytes "
+        f"{plain:.0f} plain / {cached:.0f} cached = {ratio:.2f}x reduction "
+        f"(gate: >= {H2D_REDUCTION_GATE:.1f}x per policy; byte-identical "
+        f"across --jobs {SWEEP_CHECK_JOBS})"
+    )
+
+
+def _gnn_violations(report) -> list[str]:
+    baseline = None
+    if GNN_BASELINE_PATH.exists():
+        baseline = GnnReport.from_json(GNN_BASELINE_PATH.read_text())
+    return evaluate_gnn(report, baseline=baseline)
+
+
 def _advisor_violations(report) -> list[str]:
     baseline = None
     if ADVISOR_BASELINE_PATH.exists():
@@ -404,6 +462,13 @@ def test_advisor_gate(once):
     assert not violations, "\n".join(violations)
 
 
+def test_gnn_gate(once):
+    report = once(_gnn_study_checked)
+    archive("regression_gnn", _gnn_line(report))
+    violations = _gnn_violations(report)
+    assert not violations, "\n".join(violations)
+
+
 def test_ooc_pipeline(once):
     report = once(lambda: run_ooc_study(OocConfig.from_env()))
     archive("regression_ooc", _ooc_line(report))
@@ -475,6 +540,16 @@ def main(argv=None) -> int:
              "changes nothing)",
     )
     ap.add_argument(
+        "--gnn-only", action="store_true",
+        help="run just the GNN placement gate: the repro.gnnflow study "
+             "serially and with --jobs 2 (byte-identical reports), "
+             f"caching >= {H2D_REDUCTION_GATE:g}x H2D feature-byte "
+             "reduction on the powerlaw suite shape, deterministic vs "
+             "BENCH_gnn.json (combine with --update to regenerate the "
+             "baseline; entirely simulated time, so --check-only "
+             "changes nothing)",
+    )
+    ap.add_argument(
         "--ooc-only", action="store_true",
         help="run just the out-of-core pipeline gate: store >= 4x the "
              "RAM cap, worker peak RSS under the cap, warm mmap wall "
@@ -496,6 +571,21 @@ def main(argv=None) -> int:
         if violations:
             return 1
         print("advisor accuracy within the gate")
+        return 0
+
+    if args.gnn_only:
+        report = _gnn_study_checked()
+        print(_gnn_line(report))
+        if args.update:
+            GNN_BASELINE_PATH.write_text(report.to_json() + "\n")
+            print(f"gnn baseline written to {GNN_BASELINE_PATH}")
+            return 0
+        violations = _gnn_violations(report)
+        for v in violations:
+            print(f"REGRESSION: {v}")
+        if violations:
+            return 1
+        print("gnn placement gate within tolerance")
         return 0
 
     if args.serve_only:
@@ -606,6 +696,10 @@ def main(argv=None) -> int:
         print(_advisor_line(advisor_report))
         ADVISOR_BASELINE_PATH.write_text(advisor_report.to_json() + "\n")
         print(f"advisor baseline written to {ADVISOR_BASELINE_PATH}")
+        gnn_report = _gnn_study_checked()
+        print(_gnn_line(gnn_report))
+        GNN_BASELINE_PATH.write_text(gnn_report.to_json() + "\n")
+        print(f"gnn baseline written to {GNN_BASELINE_PATH}")
         serve_sp = measure_serve()
         print(_serve_line(serve_sp))
         write_serve_baseline(SERVE_BASELINE_PATH, serve_sp)
@@ -655,6 +749,13 @@ def main(argv=None) -> int:
     advisor_report = advisor_study()
     print(_advisor_line(advisor_report))
     for v in _advisor_violations(advisor_report):
+        violations.append(v)
+        print(f"REGRESSION: {v}")
+
+    # gnn placement gate: simulated time end-to-end, deterministic
+    gnn_report = _gnn_study_checked()
+    print(_gnn_line(gnn_report))
+    for v in _gnn_violations(gnn_report):
         violations.append(v)
         print(f"REGRESSION: {v}")
 

@@ -9,6 +9,7 @@ from repro.apps.mis import MIS
 from repro.apps.pagerank import PageRankPull, PageRankPush
 from repro.apps.sssp import SSSP
 from repro.engine.operator import VertexProgram
+from repro.gnnflow.workload import GNNFlow
 from repro.errors import ConfigurationError
 
 __all__ = ["APPS", "get_app"]
@@ -23,6 +24,7 @@ APPS: dict[str, type[VertexProgram]] = {
     "pr-push": PageRankPush,
     "kcore": KCore,
     "mis": MIS,
+    "gnnflow": GNNFlow,
 }
 
 #: The five benchmarks of the study (Section IV-A).

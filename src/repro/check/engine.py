@@ -63,6 +63,17 @@ def check_round_record(rec) -> None:
             "round-accounting",
             f"round {rec.round_index}: comm_bytes is negative",
         )
+    if (
+        rec.feature_h2d_bytes < 0
+        or not np.isfinite(rec.feature_h2d_bytes)
+        or rec.feature_cache_hits < 0
+        or rec.feature_cache_misses < 0
+    ):
+        _fail(
+            "round-accounting",
+            f"round {rec.round_index}: negative or non-finite feature "
+            "traffic counters",
+        )
 
 
 def check_final_stats(stats) -> None:
@@ -84,6 +95,8 @@ def check_final_stats(stats) -> None:
             )
     if stats.num_messages < 0 or stats.comm_volume_bytes < 0:
         _fail("run-accounting", "negative communication totals")
+    if stats.feature_h2d_bytes < 0 or stats.feature_cache_hits < 0:
+        _fail("run-accounting", "negative feature-traffic totals")
 
 
 class MonotoneWatch:

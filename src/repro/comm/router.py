@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.comm.buffers import Message, batch_arrays
 from repro.comm.hier import HostAggregate, group_cross_host
+from repro.errors import ConfigurationError
 from repro.hw.cluster import Cluster
 from repro.hw.contention import ContentionModel
 
@@ -193,6 +194,15 @@ class Router:
         An empty batch returns explicitly empty arrays (no NumPy
         empty-shape edge cases downstream of an empty sync step).
         """
+        if contended and self.contention is None:
+            raise ConfigurationError(
+                "price_batch(contended=True) needs a contention model, but "
+                "this router has none — it would silently return flat "
+                "(uncontended) pricing.  Attach a ContentionConfig to the "
+                "cluster (e.g. the ':contended' platform suffix, or "
+                "Cluster(..., contention=ContentionConfig())), or pass "
+                "contention= to Router directly."
+            )
         if not messages:
             e = np.empty(0)
             return BatchLegTimes(
@@ -359,6 +369,51 @@ class Router:
             aggregates=n_aggs,
             saved_bytes=float(sum(a.saved_bytes for a in aggregates)),
         )
+
+    def price_feature_loads(
+        self, nbytes_by_gpu, *, contended: bool = False
+    ) -> np.ndarray:
+        """Price per-device host->device feature loads, one bulk transfer
+        per GPU per round (the gnnflow workload's traffic leg).
+
+        Feature tensors live in host DRAM, so every load crosses the PCIe
+        link regardless of GPUDirect: ``time[g] = pcie.time(bytes[g] *
+        volume_scale)``.  With ``contended=True`` the transfer occupies
+        the device's ``("pcie_up", g)`` lane jointly with the host's
+        ``("staging", h)`` pinned path — same resources, same FIFO
+        semantics as the sync legs, scheduled in ascending device order on
+        a fresh relative timeline (mirroring one sync step).  Devices with
+        zero bytes cost nothing.
+        """
+        if contended and self.contention is None:
+            raise ConfigurationError(
+                "price_feature_loads(contended=True) needs a contention "
+                "model, but this router has none — attach a "
+                "ContentionConfig to the cluster (e.g. the ':contended' "
+                "platform suffix) or pass contention= to Router."
+            )
+        nbytes = np.asarray(nbytes_by_gpu, dtype=np.float64) * self.volume_scale
+        if (nbytes < 0).any():
+            raise ConfigurationError("feature byte counts must be >= 0")
+        c = self.cluster
+        times = np.zeros(len(nbytes))
+        model = self.contention if contended else None
+        if model is not None:
+            model.reset_clocks()
+        host_of = c.host_of
+        for g in range(len(nbytes)):
+            if nbytes[g] <= 0.0:
+                continue
+            service = c.pcie.time(float(nbytes[g]))
+            if model is None:
+                times[g] = service
+            else:
+                start = model.acquire_joint(
+                    [("pcie_up", g), ("staging", int(host_of[g]))],
+                    0.0, service,
+                )
+                times[g] = start + service
+        return times
 
     def price_batch_scalar(self, messages: list[Message]) -> BatchLegTimes:
         """Pre-vectorization reference for :meth:`price_batch`.

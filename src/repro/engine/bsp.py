@@ -237,6 +237,9 @@ class BSPEngine:
             # merge in fixed partition order: dirty bits, candidate sets,
             # and the float accumulations happen in the same sequence as
             # the serial reference loop, so results are bit-identical
+            feat_bytes = np.zeros(P)
+            feat_hits = 0
+            feat_misses = 0
             for p, out in zip(active_ps, outs):
                 for fname, ids in out.updated.items():
                     if len(ids):
@@ -245,6 +248,25 @@ class BSPEngine:
                     candidates[p].append(out.activated)
                 compute_t[p] += cost.compute_time(p, out.frontier_degrees)
                 edges += out.edges_processed
+                feat_bytes[p] += out.feature_bytes
+                feat_hits += out.feature_cache_hits
+                feat_misses += out.feature_cache_misses
+
+            # feature-gather leg: per-device bulk H2D loads, priced
+            # through the router (contention-aware when the cluster has a
+            # model).  The load precedes the kernel, so it delays both
+            # compute completion and the send phase behind it.
+            feat_h2d_bytes = 0.0
+            if feat_bytes.any():
+                feat_t = cost.feature_load_time(feat_bytes)
+                compute_t += feat_t
+                device_t += feat_t
+                feat_h2d_bytes = float(feat_bytes.sum()) * cost.scale_factor
+                if tracer is not None:
+                    tracer.count("feature.h2d_bytes", feat_h2d_bytes)
+            if tracer is not None and (feat_hits or feat_misses):
+                tracer.count("cache.hit", feat_hits)
+                tracer.count("cache.miss", feat_misses)
 
             # ---------------- sync plan -------------------------------- #
             inter_m = np.zeros((P, P))  # (src,dst) -> summed inter legs
@@ -394,6 +416,9 @@ class BSPEngine:
                 duration=duration,
                 inter_host_messages=n_inter_host,
                 hier_aggregates=n_aggregates,
+                feature_h2d_bytes=feat_h2d_bytes,
+                feature_cache_hits=feat_hits,
+                feature_cache_misses=feat_misses,
             )
             stats.accumulate_round(rec)
             if check_cheap:

@@ -169,6 +169,18 @@ class CostModel:
         """Per-message reference pricing (pre-vectorization code path)."""
         return self.router.price_batch_scalar(msgs)
 
+    def feature_load_time(self, nbytes_by_gpu) -> np.ndarray:
+        """Per-device seconds to load raw feature bytes host->device.
+
+        Scaling to paper volume and (when the cluster has a contention
+        model) FIFO queueing on the ``pcie_up``/``staging`` resources both
+        happen inside the router — the gnnflow engines hand raw per-GPU
+        byte counts straight from the compute phase.
+        """
+        return self.router.price_feature_loads(
+            nbytes_by_gpu, contended=self.contention is not None
+        )
+
     @property
     def contention(self):
         """The router's shared-resource model (``None`` when flat)."""

@@ -52,8 +52,9 @@ class RunContext:
     global_out_degrees: Optional[np.ndarray] = None
     global_degrees: Optional[np.ndarray] = None  # symmetric degree (kcore)
     #: app-specific global inputs (e.g. the forward phase's distances and
-    #: path counts handed to Brandes' backward phase)
-    payload: Optional[dict] = None
+    #: path counts handed to Brandes' backward phase, or gnnflow's frozen
+    #: :class:`repro.gnnflow.GNNFlowConfig`)
+    payload: Optional[object] = None
 
 
 class RoundOutput(NamedTuple):
@@ -67,6 +68,14 @@ class RoundOutput(NamedTuple):
     edges_processed: int
     #: degree of each processed vertex (load-balancer pricing input)
     frontier_degrees: np.ndarray
+    #: host->device feature bytes this partition must load this round
+    #: (raw sim scale; the engine prices them through the router's
+    #: feature leg).  Zero for label-only programs.
+    feature_bytes: float = 0.0
+    #: feature-buffer hits this round (gnnflow placement telemetry)
+    feature_cache_hits: int = 0
+    #: feature-buffer misses this round (each miss contributes bytes)
+    feature_cache_misses: int = 0
 
 
 class MasterOutput(NamedTuple):

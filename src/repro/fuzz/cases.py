@@ -215,6 +215,27 @@ def _verify_labels(case: Case, graph, labels, ctx) -> None:
         ref = reference_pagerank(graph, tol=1e-6, max_iter=2000)
         rtol = 1e-2 if app == "pr-push" else 1e-3
         ok = pagerank_close(labels, ref, rtol=rtol)
+    elif app == "gnnflow":
+        # gnnflow embeddings legitimately depend on the partitioning
+        # (per-partition sampling streams), so there is no single-machine
+        # label reference; the oracle is the gather invariants instead.
+        # Each round, each local copy of a seed adds a mean of [0, 1)
+        # feature values to the seed's embedding — so embeddings are
+        # finite, non-negative, zero outside the deterministic union of
+        # minibatches, and bounded by rounds x copies.
+        from repro.gnnflow.workload import _minibatch, resolve_config
+
+        gcfg = resolve_config(ctx)
+        seeded = np.zeros(graph.num_vertices, dtype=bool)
+        for r in range(gcfg.num_rounds):
+            seeded[_minibatch(gcfg, graph.num_vertices, r)] = True
+        ref = "gnn gather property oracle"
+        ok = (
+            bool(np.all(np.isfinite(labels)))
+            and bool(np.all(labels >= 0.0))
+            and bool(np.all(labels[~seeded] == 0.0))
+            and bool(np.all(labels <= gcfg.num_rounds * case.parts))
+        )
     else:  # pragma: no cover - registry and fuzzer stay in sync
         raise ReproError(f"fuzz oracle does not cover app {case.app!r}")
     if not ok:

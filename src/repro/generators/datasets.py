@@ -291,11 +291,19 @@ def _load_fuzz_dataset(name: str) -> Dataset:
 
     try:
         _, shape, seed_text = name.split(":")
-        seed = int(seed_text)
     except ValueError:
         raise KeyError(
             f"malformed fuzz dataset {name!r}; expected 'fuzz:<shape>:<seed>'"
         ) from None
+    # strictly ASCII digits: int() would also accept "+1", " 1 ", "1_0",
+    # and unicode digits (aliasing one graph under several names), and a
+    # negative seed would escape as default_rng's bare ValueError
+    if not (seed_text.isascii() and seed_text.isdigit()):
+        raise KeyError(
+            f"malformed fuzz dataset {name!r}; expected 'fuzz:<shape>:<seed>' "
+            "with a non-negative integer seed"
+        )
+    seed = int(seed_text)
     if shape not in SHAPES:
         raise KeyError(
             f"unknown fuzz shape {shape!r}; known: {sorted(SHAPES)}"

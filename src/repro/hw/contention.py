@@ -27,7 +27,11 @@ Resources
     device ``g``'s D2H lane direction.  Always capacity 1: this is the
     per-device serialization the flat model already implies by summing
     send-side legs per device, reproduced here as an explicit FIFO so the
-    up-leg completion times feed the network queues.
+    up-leg completion times feed the network queues.  The gnnflow
+    feature-gather leg (:meth:`repro.comm.router.Router.
+    price_feature_loads`) claims this lane jointly with the host's
+    staging path, so bulk feature loads and sync messages contend for
+    the same per-device link budget.
 ``("cores", h)``
     host ``h``'s serialization cores, occupied for a message's whole
     pack+D2H service jointly with the sender's up lane.  Capacity

@@ -40,6 +40,10 @@ class RoundRecord:
     duration: float  # wall-clock of the round (barrier to barrier)
     inter_host_messages: int = 0  # wire messages crossing hosts
     hier_aggregates: int = 0  # two-level sync envelopes formed
+    #: priced (paper-scale) host->device feature bytes loaded this round
+    feature_h2d_bytes: float = 0.0
+    feature_cache_hits: int = 0  # partition feature-buffer hits
+    feature_cache_misses: int = 0  # misses (each costs an H2D load)
 
 
 @dataclass
@@ -63,6 +67,11 @@ class RunStats:
     inter_host_messages: int = 0
     #: two-level sync envelopes formed (0 when hierarchical sync is off)
     hier_aggregates: int = 0
+    #: priced (paper-scale) host->device feature bytes across the run —
+    #: the quantity the gnnflow placement study ranks policies by
+    feature_h2d_bytes: float = 0.0
+    feature_cache_hits: int = 0
+    feature_cache_misses: int = 0
     rounds: int = 0
     local_rounds_min: int = 0  # BASP: min local rounds across partitions
     local_rounds_max: int = 0
@@ -117,6 +126,9 @@ class RunStats:
         self.inter_host_messages += rec.inter_host_messages
         self.hier_aggregates += rec.hier_aggregates
         self.comm_volume_bytes += rec.comm_bytes
+        self.feature_h2d_bytes += rec.feature_h2d_bytes
+        self.feature_cache_hits += rec.feature_cache_hits
+        self.feature_cache_misses += rec.feature_cache_misses
         self.work_items += rec.edges_processed
         self.execution_time += rec.duration
 

@@ -22,8 +22,10 @@ import os
 import shutil
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro import obs
 from repro.graph.csr import CSRGraph
@@ -82,7 +84,15 @@ class PartitionCache:
     #: spill as per-partition shard directories (mmap on load) instead of
     #: monolithic ``.npz`` — the out-of-core sweep path
     spill_shards: bool = False
+    #: recency clock for the disk LRU (tests inject a deterministic one);
+    #: ``None`` means the wall clock
+    clock: Optional[Callable[[], float]] = None
     stats: CacheStats = field(default_factory=CacheStats)
+
+    #: minimum mtime advance a recency touch guarantees, so a refresh
+    #: strictly outranks entries it would otherwise tie on filesystems
+    #: (or injected clocks) with coarse timestamp resolution
+    _MTIME_TICK = 1e-4
 
     def __post_init__(self) -> None:
         self._lru: OrderedDict[tuple, PartitionedGraph] = OrderedDict()
@@ -103,6 +113,34 @@ class PartitionCache:
         h, policy, P = key
         suffix = ".shards" if self.spill_shards else ".npz"
         return os.path.join(self.cache_dir, f"{h[:16]}_{policy}_{P}{suffix}")
+
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else time.time()
+
+    def _touch(self, path: str) -> None:
+        """Refresh disk-LRU recency, strictly advancing past ties.
+
+        A bare ``os.utime`` on a coarse-mtime filesystem can land a
+        just-refreshed entry on the *same* stamp as a stale sibling, and
+        the prune tiebreak would then decide eviction by name instead of
+        recency.  Stamping ``max(now, current + tick)`` guarantees the
+        refreshed entry sorts after everything it would have tied.
+        """
+        try:
+            stamp = max(self._now(), os.path.getmtime(path) + self._MTIME_TICK)
+            os.utime(path, (stamp, stamp))
+        except OSError:
+            pass
+
+    def _stamp_new(self, path: str) -> None:
+        """Stamp a freshly stored entry with the injected clock, if any."""
+        if self.clock is None:
+            return
+        try:
+            stamp = self._now()
+            os.utime(path, (stamp, stamp))
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------ #
     def lookup_or_build(
@@ -143,10 +181,7 @@ class PartitionCache:
                 log.warning("discarding unreadable cache file %s", path)
             else:
                 self.stats.disk_hits += 1
-                try:
-                    os.utime(path)  # LRU recency for the disk byte cap
-                except OSError:
-                    pass
+                self._touch(path)  # LRU recency for the disk byte cap
                 if tracer is not None:
                     tracer.end(ev)
                     tracer.count("partition.cache.disk_hits")
@@ -190,10 +225,7 @@ class PartitionCache:
             except Exception:
                 return None
             self.stats.disk_hits += 1
-            try:
-                os.utime(path)
-            except OSError:
-                pass
+            self._touch(path)
             self._remember(key, pg)
             return pg
         return None
@@ -251,6 +283,7 @@ class PartitionCache:
         except OSError as e:  # disk full / permissions: cache is best-effort
             log.warning("could not persist partitions to %s: %s", path, e)
             return
+        self._stamp_new(path)
         self.stats.stores += 1
         if tracer is not None:
             tracer.end(ev)
@@ -283,9 +316,11 @@ class PartitionCache:
         """Evict least-recently-used disk entries above ``max_disk_bytes``.
 
         Recency is mtime: stores create entries fresh and disk hits touch
-        them (an explicit ``os.utime``, because relatime/noatime mounts do
-        not update timestamps on reads), so sorting by mtime is the LRU
-        order.  In-flight temp files are skipped; racing pruners are
+        them (an explicit strictly-advancing ``_touch``, because
+        relatime/noatime mounts do not update timestamps on reads), so
+        sorting by ``(mtime, name)`` is the LRU order with a
+        deterministic tiebreak.  In-flight temp files are skipped;
+        racing pruners are
         harmless — ``os.path.getmtime`` on an entry a sibling worker just
         evicted raises ``FileNotFoundError`` and the entry is skipped,
         deletion is idempotent, and a deleted entry is simply rebuilt on
@@ -303,13 +338,15 @@ class PartitionCache:
                 continue
             p = os.path.join(self.cache_dir, name)
             try:
-                entries.append((os.path.getmtime(p), p, self._entry_nbytes(p)))
+                entries.append(
+                    (os.path.getmtime(p), name, p, self._entry_nbytes(p))
+                )
             except OSError:
                 continue
-        total = sum(nbytes for _, _, nbytes in entries)
-        entries.sort()
+        total = sum(nbytes for _, _, _, nbytes in entries)
+        entries.sort(key=lambda e: (e[0], e[1]))
         tracer = obs.current_tracer()
-        for _, p, nbytes in entries:
+        for _, _, p, nbytes in entries:
             if total <= self.max_disk_bytes:
                 break
             try:

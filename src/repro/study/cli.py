@@ -175,6 +175,45 @@ def _run_advisor(args) -> int:
     return 0
 
 
+def _run_gnn(args) -> int:
+    """``repro-study --gnn``: the GNN placement study + gate."""
+    from repro.gnnflow import GNN_SHAPES, evaluate_gnn, gnn_study
+    from repro.runtime.sweep import SweepExecutor
+    from repro.study.report import format_table
+
+    shapes = (
+        tuple(s for s in args.gnn_shapes.split(",") if s)
+        if args.gnn_shapes
+        else GNN_SHAPES
+    )
+    t0 = time.time()
+    with SweepExecutor(jobs=args.jobs, cache_dir=args.cache_dir) as ex:
+        report = gnn_study(shapes=shapes, seed=args.gnn_seed, executor=ex)
+    rows = [
+        [r.shape, r.policy, r.placement, f"{r.h2d_bytes:.0f}",
+         r.cache_hits, r.cache_misses, f"{r.hit_rate * 100:.0f}%",
+         f"{r.execution_time * 1e3:.3f}"]
+        for r in report.rows
+    ]
+    print(format_table(
+        ["shape", "policy", "placement", "H2D bytes", "hits", "misses",
+         "hit rate", "time (ms)"],
+        rows, title="GNN feature-placement study",
+    ))
+    if args.gnn_out:
+        with open(args.gnn_out, "w") as f:
+            f.write(report.to_json())
+            f.write("\n")
+        print(f"report written to {args.gnn_out}")
+    violations = evaluate_gnn(report)
+    print(f"[gnn study finished in {time.time() - t0:.1f}s]")
+    if violations:
+        for v in violations:
+            print(f"VIOLATION: {v}")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -185,7 +224,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         choices=sorted(_EXPERIMENTS) + ["all", "list"],
-        help="which table/figure to regenerate (optional with --ooc/--advisor)",
+        help="which table/figure to regenerate (optional with "
+        "--ooc/--advisor/--gnn)",
     )
     parser.add_argument(
         "--advisor", action="store_true",
@@ -203,6 +243,29 @@ def main(argv: list[str] | None = None) -> int:
         "--advisor-out", default=None, metavar="FILE",
         help="also write the --advisor report as JSON to FILE "
         "(the BENCH_advisor.json shape)",
+    )
+    parser.add_argument(
+        "--gnn", action="store_true",
+        help="run the repro.gnnflow placement study instead of a paper "
+        "experiment: the GNN feature-gather workload over the seeded "
+        "fuzz-shape suite x partition policies x placement treatments "
+        "(no cache / hot-vertex LRU buffer / buffer + locality-aware "
+        "sampling), gated like bench_regression.py --gnn-only "
+        "(see docs/gnnflow.md)",
+    )
+    parser.add_argument(
+        "--gnn-seed", type=int, default=None, metavar="N",
+        help="suite seed for --gnn (default: the committed gate seed)",
+    )
+    parser.add_argument(
+        "--gnn-shapes", default=None, metavar="S1,S2",
+        help="comma-separated fuzz shapes for --gnn (default: the full "
+        "suite; CI smoke runs a 2-shape subset)",
+    )
+    parser.add_argument(
+        "--gnn-out", default=None, metavar="FILE",
+        help="also write the --gnn report as JSON to FILE "
+        "(the BENCH_gnn.json shape)",
     )
     parser.add_argument(
         "--ooc", action="store_true",
@@ -269,9 +332,16 @@ def main(argv: list[str] | None = None) -> int:
 
             args.advisor_seed = SUITE_SEED
         return _run_advisor(args)
+    if args.gnn:
+        if args.gnn_seed is None:
+            from repro.gnnflow import GNN_SEED
+
+            args.gnn_seed = GNN_SEED
+        return _run_gnn(args)
     if args.experiment is None:
         parser.error(
-            "an experiment name is required unless --ooc or --advisor is given"
+            "an experiment name is required unless --ooc, --advisor, or "
+            "--gnn is given"
         )
 
     if args.experiment == "list":

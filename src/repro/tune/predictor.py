@@ -156,6 +156,14 @@ APP_MODELS = {
     "pr-push": AppModel("fixed", fixed_rounds=20.0),
     "kcore": AppModel("log", work_fraction=0.5, updated_fraction=0.4),
     "mis": AppModel("log", work_fraction=0.6, updated_fraction=0.5),
+    # minibatch feature gathers: a fixed training-iteration count, and
+    # like pagerank both sync phases (reduce agg, broadcast embed) are
+    # loaded every round regardless of placement; only a minibatch-sized
+    # slice of the graph is active per round.
+    "gnnflow": AppModel(
+        "fixed", direction="pull", fixed_rounds=6.0,
+        frontier_fraction=0.4, work_fraction=0.3, updated_fraction=0.4,
+    ),
 }
 
 

@@ -94,6 +94,30 @@ class TestEmptyBatches:
 
 
 # --------------------------------------------------------------------------- #
+# contended pricing without a model: a typed error, not silent flat pricing
+# --------------------------------------------------------------------------- #
+class TestContendedRequiresModel:
+    def test_contended_without_model_raises_typed_error(self):
+        router = Router(bridges(4))  # bare platform: no contention config
+        assert router.contention is None
+        with pytest.raises(ConfigurationError, match="contention model"):
+            router.price_batch([msg(0, 1)], contended=True)
+
+    def test_error_message_names_the_fix(self):
+        with pytest.raises(ConfigurationError, match=":contended"):
+            Router(bridges(4)).price_batch([msg(0, 2)], contended=True)
+
+    def test_empty_batch_still_catches_misconfiguration(self):
+        with pytest.raises(ConfigurationError):
+            Router(bridges(4)).price_batch([], contended=True)
+
+    def test_contended_with_model_still_works(self):
+        cluster = bridges(4, contention=ContentionConfig())
+        pr = Router(cluster).price_batch([msg(0, 2), msg(1, 3)], contended=True)
+        assert np.all(np.isfinite(pr.inter))
+
+
+# --------------------------------------------------------------------------- #
 # the ser-rate bugfix: sender packs at its rate, receiver unpacks at its own
 # --------------------------------------------------------------------------- #
 class TestHostAwareSerialization:

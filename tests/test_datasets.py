@@ -53,6 +53,41 @@ class TestLoad:
         assert np.array_equal(sym.out_degrees(), sym.in_degrees())
 
 
+class TestFuzzNameValidation:
+    """``fuzz:<shape>:<seed>`` parsing: every malformed name must raise
+    the registry's KeyError with the malformed/unknown message — no bare
+    ValueError from ``int()`` or numpy's rng, no bare KeyError from the
+    shape lookup."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "fuzz:powerlaw",          # missing seed
+            "fuzz:powerlaw:1:extra",  # too many fields
+            "fuzz:powerlaw:",         # empty seed
+            "fuzz:powerlaw:x",        # non-integer seed
+            "fuzz:powerlaw:1.5",      # float seed
+            "fuzz:powerlaw:-3",       # negative seed (rng would reject)
+            "fuzz:powerlaw:+1",       # int() would accept; alias of "1"
+            "fuzz:powerlaw: 1",       # int() would accept; alias of "1"
+            "fuzz:powerlaw:1_0",      # int() would accept; alias of "10"
+            "fuzz:powerlaw:١",        # unicode digit; alias of "1"
+        ],
+    )
+    def test_malformed_names_raise_the_registry_error(self, name):
+        with pytest.raises(KeyError, match="malformed fuzz dataset"):
+            load_dataset(name)
+
+    def test_unknown_shape_raises_the_registry_error(self):
+        with pytest.raises(KeyError, match="unknown fuzz shape"):
+            load_dataset("fuzz:nope:1")
+
+    def test_valid_names_still_load(self):
+        ds = load_dataset("fuzz:powerlaw:7")
+        assert ds.graph.num_vertices > 0
+        assert ds.spec.category == "fuzz"
+
+
 class TestShapeFidelity:
     """Shape statistics that the study's conclusions depend on."""
 

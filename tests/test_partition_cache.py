@@ -261,6 +261,59 @@ class TestDiskByteCap:
         assert os.path.exists(self._entry(cache, g, 4))
 
 
+class TestCoarseClockRecency:
+    """Disk-LRU recency on coarse-mtime filesystems.
+
+    A refresh that lands on the *same* timestamp as a stale sibling must
+    still outrank it.  Pre-fix, the prune walk sorted purely by mtime and
+    broke ties by name, so a just-refreshed entry whose name sorted first
+    was evicted ahead of the genuinely stale one.  The injected frozen
+    clock is the worst possible coarseness: time never advances at all.
+    """
+
+    def test_refresh_survives_prune_despite_frozen_clock(self, g, tmp_path):
+        frozen = 1_000_000.0
+        store = str(tmp_path / "pcache")
+        cache = PartitionCache(cache_dir=store, clock=lambda: frozen)
+        builder, _ = _counting_builder("oec")
+        cache.lookup_or_build(g, "oec", 2, builder)
+        cache.lookup_or_build(g, "oec", 4, builder)
+        paths = {
+            parts: cache._disk_path(PartitionCache.key_for(g, "oec", parts))
+            for parts in (2, 4)
+        }
+        for p in paths.values():
+            assert os.path.getmtime(p) == frozen  # both stores tied
+        # refresh whichever entry the name tiebreak would evict first, so
+        # a recency-blind sort provably picks the wrong victim
+        hot_parts = min(paths, key=lambda k: os.path.basename(paths[k]))
+        refreshed = paths[hot_parts]
+        stale = paths[4 if hot_parts == 2 else 2]
+        cache.clear_memory()
+        assert cache.get(g, "oec", hot_parts) is not None  # disk hit
+        assert os.path.getmtime(refreshed) > frozen  # strictly advanced
+        cache.max_disk_bytes = os.path.getsize(refreshed) + 64
+        cache._prune_disk()
+        assert os.path.exists(refreshed)
+        assert not os.path.exists(stale)
+        assert cache.stats.pruned == 1
+
+    def test_touch_strictly_advances_past_ties(self, g, tmp_path):
+        frozen = 500.0
+        cache = PartitionCache(
+            cache_dir=str(tmp_path / "pcache"), clock=lambda: frozen
+        )
+        builder, _ = _counting_builder("oec")
+        cache.lookup_or_build(g, "oec", 2, builder)
+        path = cache._disk_path(PartitionCache.key_for(g, "oec", 2))
+        assert os.path.getmtime(path) == frozen
+        cache._touch(path)
+        first = os.path.getmtime(path)
+        cache._touch(path)
+        assert first > frozen
+        assert os.path.getmtime(path) > first
+
+
 class TestConcurrentEvictionRaces:
     """A sibling worker can evict shared-store entries at any moment;
     every disk probe must degrade to a miss, never an exception."""

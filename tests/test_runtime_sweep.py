@@ -401,6 +401,33 @@ class TestShardPlan:
             assert a.labels_crc == b.labels_crc
             assert a.stats.rounds == b.stats.rounds
 
+    def test_map_after_close_rebuilds_shard_plan_and_rss_meter(
+        self, tmp_path, restore_global_cache
+    ):
+        """Reopening a closed executor must rebuild the shard-planned
+        dispatch on a fresh pool: batches still group by dataset and every
+        outcome still carries the per-worker RSS meter."""
+        ex = SweepExecutor(
+            jobs=2, cache_dir=str(tmp_path / "pcache"), shard_plan=True,
+            spill_shards=True,
+        )
+        first = ex.map(self._store_cells(tmp_path))
+        ex.close()
+        assert ex._pool is None
+        second = ex.map(self._store_cells(tmp_path))  # lazily reopens
+        ex.close()
+        assert all(o.ok for o in first + second)
+        for a, b in zip(first, second):
+            assert a.key == b.key
+            assert a.labels_crc == b.labels_crc
+        for o in second:
+            # extra["rss"] is attached only by shard-planned batch
+            # dispatch, so its presence proves both the plan and the RSS
+            # meter came back on the fresh pool
+            rss = o.extra["rss"]
+            assert rss["peak_bytes"] >= rss["baseline_bytes"] >= 0
+            assert rss["source"] in ("RssAnon", "VmRSS", "ru_maxrss")
+
     def test_shard_plan_outcomes_carry_rss(self, tmp_path, restore_global_cache):
         with SweepExecutor(
             jobs=1, cache_dir=str(tmp_path / "pcache"), shard_plan=True,
